@@ -1,0 +1,56 @@
+//! Preconditioner bench: (a) m-step solve cost must scale linearly in m
+//! (the `m·B` term of Eq. (4.1)); (b) the Conrad–Wallach cached sweep vs
+//! the naive two-pass step — the paper's "one SSOR step costs one SOR
+//! sweep" claim, as a measured ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspcg_bench::experiments::ordered_plate;
+use mspcg_core::splitting::Splitting;
+use mspcg_core::ssor::MulticolorSsor;
+use std::hint::black_box;
+
+fn bench_msolve_scaling(c: &mut Criterion) {
+    let (_, ord) = ordered_plate(40).expect("plate");
+    let n = ord.matrix.rows();
+    let ssor = MulticolorSsor::new(&ord.matrix, &ord.colors, 1.0).expect("splitting");
+    let r: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
+    let mut z = vec![0.0; n];
+
+    let mut group = c.benchmark_group("msolve_vs_m");
+    group.sample_size(30);
+    for m in [1usize, 2, 4, 8] {
+        let alphas = vec![1.0; m];
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conrad_wallach(c: &mut Criterion) {
+    let (_, ord) = ordered_plate(40).expect("plate");
+    let n = ord.matrix.rows();
+    let ssor = MulticolorSsor::new(&ord.matrix, &ord.colors, 1.0).expect("splitting");
+    let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.03).cos()).collect();
+    let mut z = vec![0.0; n];
+    let m = 4usize;
+    let alphas = vec![1.0; m];
+
+    let mut group = c.benchmark_group("conrad_wallach_ablation");
+    group.sample_size(30);
+    group.bench_function("cached_msolve", |b| {
+        b.iter(|| ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z)))
+    });
+    group.bench_function("naive_two_pass_steps", |b| {
+        b.iter(|| {
+            z.fill(0.0);
+            for s in 1..=m {
+                ssor.step(alphas[m - s], black_box(&r), black_box(&mut z));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_msolve_scaling, bench_conrad_wallach);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Kernel bench: CSR row-wise SpMV vs DIA multiplication-by-diagonals on
+//! the color-blocked plate matrix — the §3.1 storage decision, measured on
+//! modern hardware. (On the CYBER the diagonal scheme won because of
+//! vector startup; on a cache machine CSR usually wins — the bench makes
+//! the trade-off visible.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspcg_bench::experiments::ordered_plate;
+use mspcg_sparse::DiaMatrix;
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(30);
+    for a in [20usize, 40, 60] {
+        let (_, ord) = ordered_plate(a).expect("plate");
+        let n = ord.matrix.rows();
+        let dia = DiaMatrix::from_csr(&ord.matrix);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y = vec![0.0; n];
+
+        group.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
+            b.iter(|| {
+                ord.matrix.mul_vec_into(black_box(&x), black_box(&mut y));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dia", n), &n, |b, _| {
+            b.iter(|| {
+                dia.mul_vec_into(black_box(&x), black_box(&mut y));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 2 as a *real* wall-clock bench: full m-step SSOR PCG solves of
+//! the plate problem across the paper's m sweep, on the host CPU. The
+//! simulated-CYBER seconds are produced by the `table2` binary; this bench
+//! shows the same U-shape (time vs m) on modern hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspcg_bench::experiments::{iterations_on, ordered_plate};
+use std::hint::black_box;
+
+fn bench_solve_vs_m(c: &mut Criterion) {
+    let (_, ord) = ordered_plate(30).expect("plate");
+    let rows: &[(usize, bool)] = &[
+        (0, false),
+        (1, false),
+        (2, false),
+        (2, true),
+        (3, true),
+        (4, true),
+        (6, true),
+    ];
+    let mut group = c.benchmark_group("table2_solve_wall_clock");
+    group.sample_size(10);
+    for &(m, parametrized) in rows {
+        let label = if parametrized {
+            format!("{m}P")
+        } else {
+            format!("{m}")
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &m, |b, &m| {
+            b.iter(|| {
+                let iters = iterations_on(black_box(&ord), m, parametrized, 1e-6).unwrap();
+                black_box(iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve_vs_m);
+criterion_main!(benches);

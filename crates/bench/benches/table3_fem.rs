@@ -1,0 +1,33 @@
+//! Table 3 as a *real* threads bench: the `mspcg-parallel` SPMD solver at
+//! 1, 2 and 4 workers on a plate large enough for parallelism to pay —
+//! the modern analogue of the Finite Element Machine speedup columns.
+//! (The simulated-1983 numbers come from the `table3` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspcg_bench::experiments::ordered_plate;
+use mspcg_parallel::{ParallelMStepPcg, ParallelSolverOptions};
+use std::hint::black_box;
+
+fn bench_threaded_solver(c: &mut Criterion) {
+    let (_, ord) = ordered_plate(48).expect("plate");
+    let solver = ParallelMStepPcg::new(&ord.matrix, &ord.colors, vec![1.0, 1.0]).expect("solver");
+    let mut group = c.benchmark_group("table3_threaded_speedup");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let opts = ParallelSolverOptions {
+            threads,
+            tol: 1e-6,
+            max_iterations: 50_000,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let rep = solver.solve(black_box(&ord.rhs), &opts).unwrap();
+                black_box(rep.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded_solver);
+criterion_main!(benches);

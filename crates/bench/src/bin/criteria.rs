@@ -1,0 +1,82 @@
+//! Ablation: least-squares vs min-max (Chebyshev) parametrization — the
+//! two criteria §2.2 mentions ("the min-max or the least squares
+//! criteria") — plus the unparametrized baseline, across m, measured in
+//! PCG iterations on the plate problem.
+//!
+//! Usage: `cargo run --release -p mspcg-bench --bin criteria [a]`
+
+use mspcg_bench::experiments::ordered_plate;
+use mspcg_bench::TextTable;
+use mspcg_core::{pcg_solve, IncompleteCholesky, MStepSsorPreconditioner, PcgOptions};
+
+fn main() {
+    let a = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24usize);
+    let (_, ord) = ordered_plate(a).expect("plate");
+    let opts = PcgOptions {
+        tol: 1e-6,
+        ..Default::default()
+    };
+    println!(
+        "plate a = {a} ({} unknowns): PCG iterations by fit criterion\n",
+        ord.matrix.rows()
+    );
+    let mut t = TextTable::new(vec!["m", "unparametrized", "least squares", "min-max"]);
+    for m in 1..=8usize {
+        let un = MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m).unwrap();
+        let iu = pcg_solve(&ord.matrix, &ord.rhs, &un, &opts).unwrap().iterations;
+        let (ils, imm) = if m >= 2 {
+            let ls = MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, m).unwrap();
+            let mm =
+                MStepSsorPreconditioner::parametrized_minimax(&ord.matrix, &ord.colors, m).unwrap();
+            (
+                pcg_solve(&ord.matrix, &ord.rhs, &ls, &opts)
+                    .unwrap()
+                    .iterations
+                    .to_string(),
+                pcg_solve(&ord.matrix, &ord.rhs, &mm, &opts)
+                    .unwrap()
+                    .iterations
+                    .to_string(),
+            )
+        } else {
+            ("-".into(), "-".into())
+        };
+        t.row(vec![m.to_string(), iu.to_string(), ils, imm]);
+    }
+    println!("{}", t.render());
+    println!("Both criteria should track each other closely and beat αᵢ = 1;");
+    println!("min-max optimizes the worst-case eigenvalue, least squares the");
+    println!("average — on smooth FEM spectra the difference is small, which is");
+    println!("why the paper reports only the least-squares values in Table 1.");
+
+    // The 1983 state of the art the method competes with: IC(0) — factored
+    // on the natural ordering (where it is strong) and on the multicolor
+    // ordering (where it famously degrades: the decoupling that makes SSOR
+    // parallel strips IC of its fill-path accuracy).
+    let (asm, _) = ordered_plate(a).expect("plate");
+    println!();
+    for (name, mat, rhs) in [
+        ("natural ordering", &asm.matrix, &asm.rhs),
+        ("multicolor ordering", &ord.matrix, &ord.rhs),
+    ] {
+        match IncompleteCholesky::new(mat) {
+            Ok(ic) => {
+                let sol = pcg_solve(mat, rhs, &ic, &opts).unwrap();
+                println!(
+                    "baseline IC(0), {name:20}: {:4} iterations ({} factor entries)",
+                    sol.iterations,
+                    ic.nnz()
+                );
+            }
+            Err(e) => println!("baseline IC(0), {name}: breakdown ({e})"),
+        }
+    }
+    println!("\nIC(0) on the natural ordering is the iteration-count benchmark, but");
+    println!("its triangular solves are sequential recurrences: they neither");
+    println!("vectorize (CYBER) nor distribute (FEM array). Reordering for");
+    println!("parallelism (multicolor) costs IC much of its advantage — the gap");
+    println!("the m-step multicolor SSOR method fills.");
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figures 1–5** as ASCII art from the live data
+//! structures: the R/B/G plate coloring, the grid-point stencil, the
+//! processor assignments and the link usage of the Finite Element Machine.
+
+use mspcg_coloring::grid::render_plate;
+use mspcg_fem::plate::PlaneStressProblem;
+use mspcg_fem::stencil::render_stencil;
+use mspcg_machine::ProcessorAssignment;
+
+fn main() {
+    println!("Figure 1. Plate (triangular elements), R/B/G node coloring");
+    println!("(6x6 node grid; row 0 at the bottom; every triangle sees 3 colors)\n");
+    println!("{}", render_plate(6, 6));
+
+    println!("Figure 2. Grid point stencil (linear triangles, anti-diagonal split)");
+    println!("7 coupled nodes x (u,v) = at most 14 nonzeros per row\n");
+    println!("{}", render_stencil());
+
+    // Figures 3a/3b: larger plate split among processors (18 and 9 nodes
+    // per processor in the paper's illustration).
+    let asm12 = PlaneStressProblem::unit_square(13).assemble().expect("plate");
+    for (p, fig) in [(8usize, "3a"), (16usize, "3b")] {
+        let assign = ProcessorAssignment::strips(&asm12, p).expect("assignment");
+        let per = 13 * 12 / p;
+        println!("Figure {fig}. {per} nodes/processor ({p} processors, digits = owner mod 10)\n");
+        println!("{}", assign.render());
+    }
+
+    // Figure 4: links used by a processor — with the 2-D block assignment
+    // an interior processor talks over exactly six of the eight links
+    // (N, S, E, W plus the two anti-diagonal triangulation neighbours).
+    let asm16 = PlaneStressProblem::unit_square(16).assemble().expect("plate");
+    let blocks = ProcessorAssignment::blocks(&asm16, 3, 3).expect("assignment");
+    println!("Figure 4. FEM local links (3x3 block assignment on a 16x16 plate)\n");
+    println!("{}", blocks.render());
+    for q in 0..9 {
+        let nbrs = blocks.neighbor_procs(q);
+        println!(
+            "processor {q}: talks to {:?}  ({} of 8 links used)",
+            nbrs,
+            nbrs.len()
+        );
+    }
+    println!(
+        "\ninterior processor uses 6 links, as in the paper's Figure 4;\nmax links used = {} <= 8\n",
+        blocks.max_links_used()
+    );
+
+    let asm = PlaneStressProblem::unit_square(6).assemble().expect("plate");
+
+    // Figure 5: the paper's 2- and 5-processor assignments of the 6x6 plate.
+    for p in [2usize, 5] {
+        let assign = ProcessorAssignment::strips(&asm, p).expect("assignment");
+        println!("Figure 5 ({p} processors). '.' = constrained left column\n");
+        println!("{}", assign.render());
+        for q in 0..p {
+            let c = assign.color_counts(q);
+            println!("  processor {q}: R = {}, B = {}, G = {}", c[0], c[1], c[2]);
+        }
+        println!(
+            "  colors balanced: {}\n",
+            if assign.colors_balanced() { "yes" } else { "no" }
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table 2**: CYBER 203 iterations and timings of the
+//! m-step SSOR PCG for unit-square plates of increasing size.
+//!
+//! Usage: `cargo run --release -p mspcg-bench --bin table2 [--quick]`
+//!
+//! Prints, per plate size (paper: a = 20, 41, 62, 80 with max vector
+//! lengths ~133, 561, 1282, 2134): the iteration count `I` and simulated
+//! time `T` for m = 0…4 unparametrized and m = 2…10 parametrized, then the
+//! two observations the paper draws (parametrized wins; optimal m grows
+//! with vector length).
+
+use mspcg_bench::{run_table2, table2_sizes, TextTable, MS_TABLE2};
+use mspcg_machine::VectorMachineParams;
+
+fn label(m: usize, parametrized: bool) -> String {
+    if parametrized {
+        format!("{m}P")
+    } else {
+        format!("{m}")
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = VectorMachineParams::default();
+    let tol = 1e-6;
+
+    println!("Table 2. CYBER 203 (simulated) iterations and timings, m-step SSOR PCG");
+    println!("stopping test |u(k+1) - u(k)|_inf < {tol:e}\n");
+
+    let mut optimal = Vec::new();
+    for a in table2_sizes(quick) {
+        let data = run_table2(a, MS_TABLE2, &params, tol).expect("table 2 run");
+        println!(
+            "a = {a}   N = {}   max vector length v = {}",
+            data.n, data.max_vector_length
+        );
+        let mut t = TextTable::new(vec!["m", "I", "T (s)"]);
+        for c in &data.cells {
+            t.row(vec![
+                label(c.m, c.parametrized),
+                c.iterations.to_string(),
+                format!("{:.4}", c.seconds),
+            ]);
+        }
+        println!("{}", t.render());
+        let best = data.best();
+        println!(
+            "optimal row: m = {} ({} iterations, {:.4} s); B/A = {:.3}\n",
+            label(best.m, best.parametrized),
+            best.iterations,
+            best.seconds,
+            best.b_cost / best.a_cost
+        );
+        optimal.push((a, data.max_vector_length, label(best.m, best.parametrized)));
+    }
+
+    println!("Observation (1): the parametrized preconditioner beats the");
+    println!("unparametrized one at equal m in both iterations and time.");
+    println!("Observation (2): the optimal number of steps by vector length:");
+    let mut t = TextTable::new(vec!["a", "v", "optimal m"]);
+    for (a, v, m) in optimal {
+        t.row(vec![a.to_string(), v.to_string(), m]);
+    }
+    println!("{}", t.render());
+}

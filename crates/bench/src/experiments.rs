@@ -1,0 +1,388 @@
+//! Experiment runners shared by the table binaries and the Criterion
+//! benches.
+
+use mspcg_core::analysis::{preconditioned_condition_number, CostModel};
+use mspcg_core::{
+    cg_solve, pcg_solve, MStepSsorPreconditioner, PcgOptions, StoppingCriterion,
+};
+use mspcg_fem::plate::{AssembledProblem, OrderedProblem, PlaneStressProblem};
+use mspcg_machine::array::{run_fem_machine, ArrayBreakdown};
+use mspcg_machine::vector::{run_cyber_pcg, CoefficientChoice};
+use mspcg_machine::{ArrayMachineParams, VectorMachineParams};
+use mspcg_sparse::SparseError;
+
+/// The m-rows of Table 2: unparametrized 0–4, parametrized 2P–10P.
+pub const MS_TABLE2: &[(usize, bool)] = &[
+    (0, false),
+    (1, false),
+    (2, false),
+    (2, true),
+    (3, false),
+    (3, true),
+    (4, false),
+    (4, true),
+    (5, true),
+    (6, true),
+    (7, true),
+    (8, true),
+    (9, true),
+    (10, true),
+];
+
+/// The m-rows of Table 3.
+pub const MS_TABLE3: &[(usize, bool)] = &[
+    (0, false),
+    (1, false),
+    (2, false),
+    (2, true),
+    (3, false),
+    (3, true),
+    (4, false),
+    (4, true),
+    (5, true),
+    (6, true),
+];
+
+/// Plate sizes of Table 2 (`--quick` trims the sweep for smoke runs).
+pub fn table2_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![12, 20]
+    } else {
+        vec![20, 41, 62, 80]
+    }
+}
+
+/// One `(m, I, T)` cell of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Cell {
+    /// Preconditioner steps (0 = plain CG).
+    pub m: usize,
+    /// Parametrized coefficients (`mP` rows).
+    pub parametrized: bool,
+    /// Iterations (paper column `I`).
+    pub iterations: usize,
+    /// Simulated CYBER seconds (paper column `T`).
+    pub seconds: f64,
+    /// Per-iteration cost `A` of the cost model (4.1).
+    pub a_cost: f64,
+    /// Per-step cost `B` of the cost model (4.1).
+    pub b_cost: f64,
+}
+
+/// One plate-size column group of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Data {
+    /// Rows of nodes (paper's `a`).
+    pub a: usize,
+    /// Number of unknowns `2·a·(a−1)`.
+    pub n: usize,
+    /// Max (padded) vector length (paper's `v`).
+    pub max_vector_length: usize,
+    /// Cells in [`MS_TABLE2`] order (rows that failed to construct are
+    /// skipped).
+    pub cells: Vec<Table2Cell>,
+}
+
+impl Table2Data {
+    /// The time-minimizing row.
+    pub fn best(&self) -> &Table2Cell {
+        self.cells
+            .iter()
+            .min_by(|x, y| x.seconds.partial_cmp(&y.seconds).unwrap())
+            .expect("table has rows")
+    }
+}
+
+/// Run one plate size of Table 2 on the simulated CYBER.
+///
+/// # Errors
+/// Propagates assembly/solver failures.
+pub fn run_table2(
+    a: usize,
+    rows: &[(usize, bool)],
+    params: &VectorMachineParams,
+    tol: f64,
+) -> Result<Table2Data, SparseError> {
+    let asm = PlaneStressProblem::unit_square(a).assemble()?;
+    let ord = asm.multicolor()?;
+    let mut cells = Vec::with_capacity(rows.len());
+    let mut max_v = 0;
+    for &(m, parametrized) in rows {
+        let choice = if parametrized {
+            CoefficientChoice::Parametrized
+        } else {
+            CoefficientChoice::Unparametrized
+        };
+        let rep = run_cyber_pcg(&asm, &ord, m, choice, params, tol)?;
+        max_v = rep.max_vector_length;
+        cells.push(Table2Cell {
+            m,
+            parametrized: rep.parametrized,
+            iterations: rep.iterations,
+            seconds: rep.seconds,
+            a_cost: rep.a_per_iteration,
+            b_cost: rep.b_per_step,
+        });
+    }
+    Ok(Table2Data {
+        a,
+        n: asm.num_unknowns(),
+        max_vector_length: max_v,
+        cells,
+    })
+}
+
+/// One m-row of Table 3 across processor counts.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Preconditioner steps.
+    pub m: usize,
+    /// Parametrized?
+    pub parametrized: bool,
+    /// Iterations (processor-independent).
+    pub iterations: usize,
+    /// Seconds per processor count, aligned with the `procs` argument.
+    pub seconds: Vec<f64>,
+    /// Speedups vs the first processor count.
+    pub speedups: Vec<f64>,
+    /// Overhead fraction per processor count (non-arithmetic share).
+    pub overhead: Vec<f64>,
+    /// Full breakdown at the largest processor count.
+    pub breakdown_last: ArrayBreakdown,
+}
+
+/// Table 3 data (all m-rows for fixed processor counts).
+#[derive(Debug, Clone)]
+pub struct Table3Data {
+    /// Processor counts (paper: 1, 2, 5).
+    pub procs: Vec<usize>,
+    /// Rows in [`MS_TABLE3`] order.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Run Table 3 on the simulated Finite Element Machine.
+///
+/// # Errors
+/// Propagates assembly/solver/assignment failures.
+pub fn run_table3(
+    a: usize,
+    rows: &[(usize, bool)],
+    procs: &[usize],
+    params: &ArrayMachineParams,
+    tol: f64,
+) -> Result<Table3Data, SparseError> {
+    let asm = PlaneStressProblem::unit_square(a).assemble()?;
+    let ord = asm.multicolor()?;
+    let mut out = Vec::with_capacity(rows.len());
+    for &(m, parametrized) in rows {
+        let choice = if parametrized {
+            CoefficientChoice::Parametrized
+        } else {
+            CoefficientChoice::Unparametrized
+        };
+        let mut seconds = Vec::with_capacity(procs.len());
+        let mut overhead = Vec::with_capacity(procs.len());
+        let mut iterations = 0;
+        let mut breakdown_last = ArrayBreakdown::default();
+        for &p in procs {
+            let rep = run_fem_machine(&asm, &ord, m, choice, p, params, tol)?;
+            iterations = rep.iterations;
+            seconds.push(rep.seconds);
+            overhead.push(rep.breakdown.overhead_fraction());
+            breakdown_last = rep.breakdown;
+        }
+        let speedups = seconds.iter().map(|&s| seconds[0] / s).collect();
+        out.push(Table3Row {
+            m,
+            parametrized: parametrized && m > 0,
+            iterations,
+            seconds,
+            speedups,
+            overhead,
+            breakdown_last,
+        });
+    }
+    Ok(Table3Data {
+        procs: procs.to_vec(),
+        rows: out,
+    })
+}
+
+/// One row of the condition-number study (§2.1 / E9).
+#[derive(Debug, Clone, Copy)]
+pub struct ConditionRow {
+    /// Steps.
+    pub m: usize,
+    /// Parametrized?
+    pub parametrized: bool,
+    /// κ(M_m⁻¹ K), computed densely.
+    pub kappa: f64,
+}
+
+/// Exact condition numbers of the preconditioned operator for a small
+/// plate, for m in `ms`, both unparametrized and parametrized.
+///
+/// # Errors
+/// Propagates dense eigensolver failures.
+pub fn condition_study(a: usize, ms: &[usize]) -> Result<Vec<ConditionRow>, SparseError> {
+    let asm = PlaneStressProblem::unit_square(a).assemble()?;
+    let ord = asm.multicolor()?;
+    let mut rows = Vec::new();
+    for &m in ms {
+        let un = MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m)?;
+        rows.push(ConditionRow {
+            m,
+            parametrized: false,
+            kappa: preconditioned_condition_number(&ord.matrix, &un)?,
+        });
+        if m >= 2 {
+            let pa = MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, m)?;
+            rows.push(ConditionRow {
+                m,
+                parametrized: true,
+                kappa: preconditioned_condition_number(&ord.matrix, &pa)?,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Iterations of the 1-step multicolor SSOR PCG as a function of ω
+/// (§5: ω = 1 is a good choice for multicolor orderings).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn omega_sweep(a: usize, omegas: &[f64]) -> Result<Vec<(f64, usize)>, SparseError> {
+    let asm = PlaneStressProblem::unit_square(a).assemble()?;
+    let ord = asm.multicolor()?;
+    let opts = PcgOptions {
+        tol: 1e-6,
+        criterion: StoppingCriterion::DisplacementChange,
+        ..Default::default()
+    };
+    let mut out = Vec::with_capacity(omegas.len());
+    for &w in omegas {
+        let pre = MStepSsorPreconditioner::unparametrized_omega(&ord.matrix, &ord.colors, 1, w)?;
+        let sol = pcg_solve(&ord.matrix, &ord.rhs, &pre, &opts)?;
+        out.push((w, sol.iterations));
+    }
+    Ok(out)
+}
+
+/// Iteration count for a given configuration on the ordered problem
+/// (used by the Criterion benches and by `ineq42`).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn iterations_on(
+    ord: &OrderedProblem,
+    m: usize,
+    parametrized: bool,
+    tol: f64,
+) -> Result<usize, SparseError> {
+    let opts = PcgOptions {
+        tol,
+        ..Default::default()
+    };
+    if m == 0 {
+        return Ok(cg_solve(&ord.matrix, &ord.rhs, &opts)?.iterations);
+    }
+    let pre = if parametrized {
+        MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, m)?
+    } else {
+        MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m)?
+    };
+    Ok(pcg_solve(&ord.matrix, &ord.rhs, &pre, &opts)?.iterations)
+}
+
+/// Assemble + order a plate (convenience for benches).
+///
+/// # Errors
+/// Propagates assembly failures.
+pub fn ordered_plate(a: usize) -> Result<(AssembledProblem, OrderedProblem), SparseError> {
+    let asm = PlaneStressProblem::unit_square(a).assemble()?;
+    let ord = asm.multicolor()?;
+    Ok((asm, ord))
+}
+
+/// Cost model of the simulated CYBER for a given plate (from a 1-step
+/// probe run), for the Eq. (4.2) analysis.
+///
+/// # Errors
+/// Propagates simulator failures.
+pub fn cyber_cost_model(
+    asm: &AssembledProblem,
+    ord: &OrderedProblem,
+    params: &VectorMachineParams,
+) -> Result<CostModel, SparseError> {
+    let rep = run_cyber_pcg(asm, ord, 1, CoefficientChoice::Unparametrized, params, 1e-3)?;
+    Ok(CostModel {
+        a: rep.a_per_iteration,
+        b: rep.b_per_step,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_quick_run_has_expected_shape() {
+        let rows: &[(usize, bool)] = &[(0, false), (1, false), (2, false), (2, true)];
+        let t = run_table2(10, rows, &VectorMachineParams::default(), 1e-6).unwrap();
+        assert_eq!(t.n, 180);
+        assert_eq!(t.cells.len(), 4);
+        let i: Vec<usize> = t.cells.iter().map(|c| c.iterations).collect();
+        assert!(i[1] < i[0], "m=1 beats CG");
+        assert!(i[3] <= i[2], "2P beats 2");
+    }
+
+    #[test]
+    fn table3_speedups_increase_with_processors() {
+        let rows: &[(usize, bool)] = &[(0, false), (1, false)];
+        let t = run_table3(
+            6,
+            rows,
+            &[1, 2, 5],
+            &ArrayMachineParams::default(),
+            1e-6,
+        )
+        .unwrap();
+        for row in &t.rows {
+            assert!(row.speedups[0] == 1.0);
+            assert!(row.speedups[1] > 1.0);
+            assert!(row.speedups[2] > row.speedups[1]);
+        }
+    }
+
+    #[test]
+    fn condition_study_monotone() {
+        let rows = condition_study(5, &[1, 2, 3]).unwrap();
+        let un: Vec<f64> = rows
+            .iter()
+            .filter(|r| !r.parametrized)
+            .map(|r| r.kappa)
+            .collect();
+        assert!(un.windows(2).all(|w| w[1] <= w[0] * 1.0001), "{un:?}");
+    }
+
+    #[test]
+    fn omega_one_is_near_optimal() {
+        let sweep = omega_sweep(8, &[0.7, 1.0, 1.3, 1.6]).unwrap();
+        let at = |w: f64| {
+            sweep
+                .iter()
+                .find(|(x, _)| (x - w).abs() < 1e-12)
+                .unwrap()
+                .1
+        };
+        let best = sweep.iter().map(|&(_, i)| i).min().unwrap();
+        // ω = 1 within 20% of the best of the sweep.
+        assert!(
+            at(1.0) as f64 <= best as f64 * 1.2 + 2.0,
+            "omega=1: {} vs best {}",
+            at(1.0),
+            best
+        );
+    }
+}

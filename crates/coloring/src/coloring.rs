@@ -1,0 +1,310 @@
+//! Validated color assignments and the orderings they induce.
+
+use mspcg_sparse::{CsrMatrix, Partition, Permutation, SparseError};
+
+/// A color assignment over `0..n` unknowns with colors `0..num_colors`.
+///
+/// Validity (every stored off-diagonal entry couples two *different*
+/// colors) is **not** implied by construction — call
+/// [`Coloring::verify_for`] against the matrix the coloring is meant to
+/// decouple. The plate colorings in [`crate::grid`] are valid by theorem;
+/// the greedy coloring of [`crate::greedy`] is valid by construction; both
+/// are still verified in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    labels: Vec<usize>,
+    num_colors: usize,
+}
+
+impl Coloring {
+    /// Build from per-unknown labels. `num_colors` must be exactly
+    /// `max(labels) + 1` and every color in `0..num_colors` must be used —
+    /// the multicolor sweep iterates over color classes and requires each
+    /// to be nonempty.
+    ///
+    /// # Errors
+    /// [`SparseError::InvalidPartition`] when a color class is empty or a
+    /// label exceeds `num_colors`.
+    pub fn from_labels(labels: Vec<usize>, num_colors: usize) -> Result<Self, SparseError> {
+        let mut used = vec![false; num_colors];
+        for (i, &c) in labels.iter().enumerate() {
+            if c >= num_colors {
+                return Err(SparseError::InvalidPartition {
+                    reason: format!("label {c} at index {i} exceeds color count {num_colors}"),
+                });
+            }
+            used[c] = true;
+        }
+        if let Some(missing) = used.iter().position(|&u| !u) {
+            return Err(SparseError::InvalidPartition {
+                reason: format!("color {missing} unused"),
+            });
+        }
+        Ok(Coloring { labels, num_colors })
+    }
+
+    /// Number of unknowns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no unknowns are colored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of colors.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Color of unknown `i`.
+    #[inline]
+    pub fn color_of(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Raw label slice.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-color class sizes.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_colors];
+        for &c in &self.labels {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Verify the coloring decouples `a`: every stored off-diagonal entry
+    /// must join two distinct colors, so each diagonal block of the permuted
+    /// matrix is a diagonal matrix.
+    ///
+    /// # Errors
+    /// [`SparseError::ShapeMismatch`] if sizes disagree;
+    /// [`SparseError::InvalidPartition`] naming the first offending edge.
+    pub fn verify_for(&self, a: &CsrMatrix) -> Result<(), SparseError> {
+        if a.rows() != self.len() {
+            return Err(SparseError::ShapeMismatch {
+                left: (a.rows(), a.cols()),
+                right: (self.len(), 1),
+            });
+        }
+        for i in 0..a.rows() {
+            for (j, v) in a.row_entries(i) {
+                if j != i && v != 0.0 && self.labels[i] == self.labels[j] {
+                    return Err(SparseError::InvalidPartition {
+                        reason: format!(
+                            "unknowns {i} and {j} are coupled but share color {}",
+                            self.labels[i]
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Derive the color ordering: unknowns sorted by color (stable within a
+    /// color, preserving the original — in the paper, bottom-to-top,
+    /// left-to-right — numbering), plus the contiguous color partition.
+    pub fn ordering(&self) -> ColorOrdering {
+        let sizes = self.class_sizes();
+        let partition = Partition::from_sizes(&sizes).expect("nonempty classes by construction");
+        let mut next: Vec<usize> = partition.offsets()[..self.num_colors].to_vec();
+        let mut new_to_old = vec![0usize; self.len()];
+        for (old, &c) in self.labels.iter().enumerate() {
+            new_to_old[next[c]] = old;
+            next[c] += 1;
+        }
+        let permutation =
+            Permutation::from_new_to_old(new_to_old).expect("coloring induces a bijection");
+        ColorOrdering {
+            permutation,
+            partition,
+        }
+    }
+
+    /// Refine a node coloring into a dof coloring: unknown `node·k + d`
+    /// receives color `node_color·k + d`. This is exactly the paper's step
+    /// from 3 node colors (R/B/G) to 6 equation colors (R(u), R(v), …) —
+    /// needed because the u and v equations at one node couple (Fig. 2).
+    ///
+    /// # Errors
+    /// Propagates [`Coloring::from_labels`] errors.
+    pub fn refine_per_dof(&self, dofs_per_node: usize) -> Result<Coloring, SparseError> {
+        let mut labels = Vec::with_capacity(self.len() * dofs_per_node);
+        for &c in &self.labels {
+            for d in 0..dofs_per_node {
+                labels.push(c * dofs_per_node + d);
+            }
+        }
+        Coloring::from_labels(labels, self.num_colors * dofs_per_node)
+    }
+
+    /// Restrict the coloring to a subset of unknowns (e.g. after Dirichlet
+    /// elimination), keeping only colors that remain in use and compacting
+    /// the color indices.
+    ///
+    /// `keep[i]` is `true` when unknown `i` survives.
+    ///
+    /// # Errors
+    /// [`SparseError::ShapeMismatch`] if `keep.len()` differs;
+    /// [`SparseError::InvalidPartition`] if no unknowns survive.
+    pub fn restrict(&self, keep: &[bool]) -> Result<Coloring, SparseError> {
+        if keep.len() != self.len() {
+            return Err(SparseError::ShapeMismatch {
+                left: (keep.len(), 1),
+                right: (self.len(), 1),
+            });
+        }
+        let surviving: Vec<usize> = self
+            .labels
+            .iter()
+            .zip(keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&c, _)| c)
+            .collect();
+        if surviving.is_empty() {
+            return Err(SparseError::InvalidPartition {
+                reason: "restriction removes every unknown".into(),
+            });
+        }
+        // Compact color ids.
+        let mut remap = vec![usize::MAX; self.num_colors];
+        let mut next = 0usize;
+        for &c in &surviving {
+            if remap[c] == usize::MAX {
+                remap[c] = next;
+                next += 1;
+            }
+        }
+        // Keep color order stable (by original color index).
+        let mut order: Vec<usize> = (0..self.num_colors).filter(|&c| remap[c] != usize::MAX).collect();
+        order.sort_unstable();
+        for (rank, &c) in order.iter().enumerate() {
+            remap[c] = rank;
+        }
+        let labels = surviving.into_iter().map(|c| remap[c]).collect();
+        Coloring::from_labels(labels, next)
+    }
+}
+
+/// The permutation/partition pair induced by a [`Coloring`].
+#[derive(Debug, Clone)]
+pub struct ColorOrdering {
+    /// New→old gather order (new index space is grouped by color).
+    pub permutation: Permutation,
+    /// Contiguous color blocks in the new index space.
+    pub partition: Partition,
+}
+
+impl ColorOrdering {
+    /// Apply to a square symmetric matrix: returns the color-blocked matrix.
+    ///
+    /// # Errors
+    /// Propagates [`CsrMatrix::permute_sym`] errors.
+    pub fn permute_matrix(&self, a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+        a.permute_sym(&self.permutation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspcg_sparse::CooMatrix;
+
+    fn path_matrix(n: usize) -> CsrMatrix {
+        let mut a = CooMatrix::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                a.push_sym(i, i + 1, -1.0).unwrap();
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn from_labels_rejects_unused_color() {
+        assert!(Coloring::from_labels(vec![0, 0, 2], 3).is_err());
+        assert!(Coloring::from_labels(vec![0, 1, 2], 3).is_ok());
+    }
+
+    #[test]
+    fn from_labels_rejects_out_of_range() {
+        assert!(Coloring::from_labels(vec![0, 5], 2).is_err());
+    }
+
+    #[test]
+    fn verify_red_black_path() {
+        let a = path_matrix(6);
+        let rb = Coloring::from_labels(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        assert!(rb.verify_for(&a).is_ok());
+        let bad = Coloring::from_labels(vec![0, 0, 1, 1, 0, 1], 2).unwrap();
+        assert!(bad.verify_for(&a).is_err());
+    }
+
+    #[test]
+    fn ordering_groups_by_color_and_is_stable() {
+        let c = Coloring::from_labels(vec![1, 0, 1, 0], 2).unwrap();
+        let ord = c.ordering();
+        // Color 0: old 1, 3; color 1: old 0, 2 (stable).
+        assert_eq!(ord.permutation.as_slice(), &[1, 3, 0, 2]);
+        assert_eq!(ord.partition.num_blocks(), 2);
+        assert_eq!(ord.partition.range(0), 0..2);
+    }
+
+    #[test]
+    fn permuted_diagonal_blocks_are_diagonal() {
+        let a = path_matrix(6);
+        let rb = Coloring::from_labels(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let ord = rb.ordering();
+        let b = ord.permute_matrix(&a).unwrap();
+        for blk in ord.partition.iter() {
+            for i in blk.clone() {
+                for (j, v) in b.row_entries(i) {
+                    if blk.contains(&j) && j != i {
+                        panic!("off-diagonal {i},{j} = {v} inside color block");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_per_dof_doubles_colors() {
+        let c = Coloring::from_labels(vec![0, 1, 2], 3).unwrap();
+        let r = c.refine_per_dof(2).unwrap();
+        assert_eq!(r.num_colors(), 6);
+        assert_eq!(r.labels(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn restrict_compacts_colors() {
+        let c = Coloring::from_labels(vec![0, 1, 2, 1], 3).unwrap();
+        // Drop the only color-0 unknown.
+        let r = c.restrict(&[false, true, true, true]).unwrap();
+        assert_eq!(r.num_colors(), 2);
+        assert_eq!(r.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn restrict_rejects_empty_result() {
+        let c = Coloring::from_labels(vec![0], 1).unwrap();
+        assert!(c.restrict(&[false]).is_err());
+    }
+
+    #[test]
+    fn class_sizes_sum_to_len() {
+        let c = Coloring::from_labels(vec![0, 1, 0, 2, 1, 0], 3).unwrap();
+        let sizes = c.class_sizes();
+        assert_eq!(sizes, vec![3, 2, 1]);
+        assert_eq!(sizes.iter().sum::<usize>(), c.len());
+    }
+}

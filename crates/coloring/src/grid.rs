@@ -1,0 +1,199 @@
+//! Closed-form colorings of the triangulated rectangular grid.
+//!
+//! The paper's plate (Fig. 1) is a rectangular node grid where every cell is
+//! split into two triangles by its anti-diagonal. The nodes are colored Red,
+//! Black, Green so that the three vertices of every triangle carry three
+//! different colors; the formula `color(i, j) = (2·i + j) mod 3` achieves
+//! this and — when the number of node columns is ≡ 2 (mod 3) — coincides
+//! with the paper's "number along each row and wrap R/B/G to the next row"
+//! scheme (§3.1 requires the last node of the first row to be Black for the
+//! wrap to work; Black is color 1 here).
+//!
+//! Since the u and v displacement equations at one node couple, the full
+//! decoupling needs six colors: Red(u), Red(v), Black(u), Black(v),
+//! Green(u), Green(v) — produced by [`six_color_dof_coloring`].
+
+use crate::coloring::Coloring;
+use mspcg_sparse::SparseError;
+
+/// The three node colors of the plate coloring, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeColor {
+    /// Red nodes (numbered first).
+    Red = 0,
+    /// Black nodes.
+    Black = 1,
+    /// Green nodes (numbered last).
+    Green = 2,
+}
+
+impl NodeColor {
+    /// Color of grid node `(row, col)` under the wrap-around R/B/G scheme.
+    #[inline]
+    pub fn of(row: usize, col: usize) -> NodeColor {
+        match (2 * row + col) % 3 {
+            0 => NodeColor::Red,
+            1 => NodeColor::Black,
+            _ => NodeColor::Green,
+        }
+    }
+
+    /// Single-letter display used by the figure renderer.
+    pub fn letter(self) -> char {
+        match self {
+            NodeColor::Red => 'R',
+            NodeColor::Black => 'B',
+            NodeColor::Green => 'G',
+        }
+    }
+}
+
+/// R/B/G coloring of a `rows × cols` node grid, nodes numbered row-major
+/// bottom-to-top, left-to-right (the paper's numbering).
+///
+/// # Errors
+/// [`SparseError::InvalidPartition`] if the grid is too small to use all
+/// three colors (needs at least 3 nodes in the pattern).
+pub fn rbg_node_coloring(rows: usize, cols: usize) -> Result<Coloring, SparseError> {
+    let mut labels = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            labels.push(NodeColor::of(i, j) as usize);
+        }
+    }
+    Coloring::from_labels(labels, 3)
+}
+
+/// Six-color equation coloring for 2 dofs per node (u then v at each node,
+/// equation index = `2·node + dof`): Red(u)=0, Red(v)=1, Black(u)=2,
+/// Black(v)=3, Green(u)=4, Green(v)=5.
+///
+/// # Errors
+/// Propagates [`rbg_node_coloring`] errors.
+pub fn six_color_dof_coloring(rows: usize, cols: usize) -> Result<Coloring, SparseError> {
+    rbg_node_coloring(rows, cols)?.refine_per_dof(2)
+}
+
+/// True when the anti-diagonal triangulation of the `rows × cols` grid has
+/// all-distinct vertex colors on every triangle (used as a sanity check and
+/// by property tests; always true for [`NodeColor::of`]).
+pub fn triangles_properly_colored(rows: usize, cols: usize) -> bool {
+    for i in 0..rows.saturating_sub(1) {
+        for j in 0..cols.saturating_sub(1) {
+            // Lower triangle: (i, j), (i, j+1), (i+1, j).
+            let a = NodeColor::of(i, j);
+            let b = NodeColor::of(i, j + 1);
+            let c = NodeColor::of(i + 1, j);
+            if a == b || b == c || a == c {
+                return false;
+            }
+            // Upper triangle: (i, j+1), (i+1, j+1), (i+1, j).
+            let d = NodeColor::of(i + 1, j + 1);
+            if b == d || d == c {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Render the colored plate as ASCII (paper Fig. 1), bottom row printed
+/// last so the output matches the paper's orientation (row 0 at the
+/// bottom).
+pub fn render_plate(rows: usize, cols: usize) -> String {
+    let mut out = String::new();
+    for i in (0..rows).rev() {
+        for j in 0..cols {
+            out.push(NodeColor::of(i, j).letter());
+            if j + 1 < cols {
+                out.push_str("---");
+            }
+        }
+        out.push('\n');
+        if i > 0 {
+            // Anti-diagonal edges: | \ pattern per cell.
+            for j in 0..cols {
+                out.push('|');
+                if j + 1 < cols {
+                    out.push_str(" \\ ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_row_major_wrap_when_cols_mod3_is_2() {
+        // cols ≡ 2 (mod 3): the row-major sequential coloring wraps exactly.
+        let cols = 5;
+        for rows in 1..5 {
+            for i in 0..rows {
+                for j in 0..cols {
+                    let seq = (i * cols + j) % 3;
+                    assert_eq!(NodeColor::of(i, j) as usize, seq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_node_of_first_row_is_black_for_wrap_grids() {
+        // §3.1: "the last node in the first row must be Black".
+        for cols in [5usize, 8, 11, 14] {
+            assert_eq!(NodeColor::of(0, cols - 1), NodeColor::Black);
+        }
+    }
+
+    #[test]
+    fn every_triangle_gets_three_colors() {
+        for rows in 2..8 {
+            for cols in 2..8 {
+                assert!(
+                    triangles_properly_colored(rows, cols),
+                    "bad coloring at {rows}x{cols}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rbg_coloring_has_three_balanced_classes() {
+        let c = rbg_node_coloring(6, 6).unwrap();
+        let sizes = c.class_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 36);
+        // Balanced to within one node per class.
+        assert!(sizes.iter().all(|&s| s == 12));
+    }
+
+    #[test]
+    fn six_color_refinement_interleaves_dofs() {
+        let c = six_color_dof_coloring(2, 2).unwrap();
+        assert_eq!(c.num_colors(), 6);
+        // Node (0,0) is Red: equations 0 (u) and 1 (v) get colors 0, 1.
+        assert_eq!(c.color_of(0), 0);
+        assert_eq!(c.color_of(1), 1);
+        // Node (0,1) is Black: colors 2, 3.
+        assert_eq!(c.color_of(2), 2);
+        assert_eq!(c.color_of(3), 3);
+    }
+
+    #[test]
+    fn render_contains_all_letters() {
+        let s = render_plate(3, 5);
+        assert!(s.contains('R') && s.contains('B') && s.contains('G'));
+        assert_eq!(s.lines().count(), 3 + 2);
+    }
+
+    #[test]
+    fn tiny_grid_errors_when_a_color_is_missing() {
+        // 1x1 grid has only a Red node — three-coloring impossible.
+        assert!(rbg_node_coloring(1, 1).is_err());
+        assert!(rbg_node_coloring(1, 3).is_ok());
+    }
+}

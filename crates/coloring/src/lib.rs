@@ -1,0 +1,32 @@
+//! # mspcg-coloring
+//!
+//! Multicolor orderings for parallel relaxation, after **Adams & Ortega,
+//! "A Multi-Color SOR Method for Parallel Computation" (ICPP 1982)** — the
+//! ordering substrate of the m-step SSOR preconditioner.
+//!
+//! A *multicolor ordering* partitions the unknowns into color classes such
+//! that no two coupled unknowns share a class. Renumbering the system class
+//! by class turns every triangular solve of SOR/SSOR into a short sequence
+//! of *diagonal* solves — one long vector operation per color on a pipeline
+//! machine, one embarrassingly parallel sweep per color on an array.
+//!
+//! * [`coloring::Coloring`] — a validated color assignment with the derived
+//!   permutation/partition pair,
+//! * [`grid`] — the closed-form Red/Black/Green coloring of the triangulated
+//!   plate (paper Fig. 1) and its 6-color u/v refinement,
+//! * [`greedy`] — greedy multicoloring of arbitrary symmetric sparsity
+//!   graphs, for the irregular regions the paper lists as future work.
+
+// Indexed `for i in 0..n` loops are deliberate throughout the numeric
+// kernels: they address several parallel arrays (CSR structure, split
+// points, diagonals) by the same row index, where iterator zips would
+// obscure the math. Clippy's needless_range_loop lint fires on exactly
+// this pattern, so it is allowed crate-wide.
+#![allow(clippy::needless_range_loop)]
+pub mod coloring;
+pub mod greedy;
+pub mod grid;
+
+pub use coloring::{ColorOrdering, Coloring};
+pub use greedy::{greedy_coloring, GreedyStrategy};
+pub use grid::{rbg_node_coloring, six_color_dof_coloring, NodeColor};

@@ -1,0 +1,504 @@
+//! Algorithm 1: the preconditioned conjugate gradient loop.
+//!
+//! Direct transcription of the paper's Algorithm 1 (Chandra 1978 form):
+//!
+//! ```text
+//! r⁰ = f − K u⁰;  M r̂⁰ = r⁰;  p⁰ = r̂⁰
+//! for k = 0, 1, …:
+//!   αₖ = (r̂ᵏ, rᵏ) / (pᵏ, K pᵏ)
+//!   u^{k+1} = uᵏ + αₖ pᵏ
+//!   stop when ‖u^{k+1} − uᵏ‖∞ < ε          (step (3) of the paper)
+//!   r^{k+1} = rᵏ − αₖ K pᵏ
+//!   M r̂^{k+1} = r^{k+1}
+//!   βₖ = (r̂^{k+1}, r^{k+1}) / (r̂ᵏ, rᵏ)
+//!   p^{k+1} = r̂^{k+1} + βₖ pᵏ
+//! ```
+//!
+//! The two inner products per iteration are the paper's motivating cost on
+//! vector and array machines; [`PcgStats`] counts them so the machine
+//! models in `mspcg-machine` can charge them faithfully.
+//!
+//! Breakdown guards double as SPD validation: a nonpositive `(p, Kp)`
+//! reveals an indefinite `K`, a nonpositive `(r̂, r)` an indefinite `M`;
+//! both return typed errors instead of silently diverging.
+
+use crate::preconditioner::{IdentityPreconditioner, Preconditioner};
+use mspcg_sparse::{vecops, CsrMatrix, SparseError};
+
+/// Convergence test selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoppingCriterion {
+    /// `‖u^{k+1} − uᵏ‖∞ < ε` — the paper's test (cheap on the Finite
+    /// Element Machine's flag network: no global reduction needed).
+    #[default]
+    DisplacementChange,
+    /// `‖r^{k+1}‖₂ ≤ ε · ‖f‖₂` — the conventional modern test; costs one
+    /// extra inner product per iteration.
+    RelativeResidual,
+}
+
+/// Options for [`pcg_solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct PcgOptions {
+    /// Tolerance ε.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Which convergence test to run.
+    pub criterion: StoppingCriterion,
+    /// Record the per-iteration criterion value in
+    /// [`PcgSolution::history`].
+    pub record_history: bool,
+}
+
+impl Default for PcgOptions {
+    fn default() -> Self {
+        PcgOptions {
+            tol: 1e-6,
+            max_iterations: 50_000,
+            criterion: StoppingCriterion::DisplacementChange,
+            record_history: false,
+        }
+    }
+}
+
+/// Operation counters (the quantities the machine cost models consume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcgStats {
+    /// Sparse matrix–vector products with `K`.
+    pub spmv: usize,
+    /// Inner products (global reductions).
+    pub inner_products: usize,
+    /// Preconditioner applications (`M r̂ = r` solves).
+    pub precond_applications: usize,
+    /// Total stationary steps inside the preconditioner
+    /// (`applications × m`).
+    pub precond_steps: usize,
+}
+
+/// Result of a (P)CG solve.
+#[derive(Debug, Clone)]
+pub struct PcgSolution {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Iterations performed (the paper's `I` column).
+    pub iterations: usize,
+    /// Whether the stopping test fired within the budget.
+    pub converged: bool,
+    /// Final `‖u^{k+1} − uᵏ‖∞`.
+    pub final_change: f64,
+    /// Final `‖r‖₂ / ‖f‖₂`.
+    pub final_relative_residual: f64,
+    /// Per-iteration criterion values (empty unless requested).
+    pub history: Vec<f64>,
+    /// Operation counts.
+    pub stats: PcgStats,
+}
+
+/// Solve `K u = f` by PCG from the zero initial guess.
+///
+/// ```
+/// use mspcg_core::pcg::{pcg_solve, PcgOptions};
+/// use mspcg_core::preconditioner::DiagonalPreconditioner;
+/// use mspcg_sparse::CooMatrix;
+///
+/// // 1-D Laplacian, 5 unknowns.
+/// let mut coo = CooMatrix::new(5, 5);
+/// for i in 0..5 {
+///     coo.push(i, i, 2.0)?;
+///     if i + 1 < 5 { coo.push_sym(i, i + 1, -1.0)?; }
+/// }
+/// let k = coo.to_csr();
+/// let m = DiagonalPreconditioner::from_diag(&k.diag()?)?;
+/// let sol = pcg_solve(&k, &[1.0; 5], &m, &PcgOptions::default())?;
+/// assert!(sol.converged && sol.iterations <= 5);
+/// # Ok::<(), mspcg_sparse::SparseError>(())
+/// ```
+///
+/// # Errors
+/// * [`SparseError::NotSquare`] / [`SparseError::ShapeMismatch`] on shape
+///   violations,
+/// * [`SparseError::NotPositiveDefinite`] on inner-product breakdown
+///   (indefinite `K` or preconditioner),
+/// * [`SparseError::DidNotConverge`] when the budget is exhausted.
+pub fn pcg_solve(
+    k: &CsrMatrix,
+    f: &[f64],
+    m: &impl Preconditioner,
+    opts: &PcgOptions,
+) -> Result<PcgSolution, SparseError> {
+    let x0 = vec![0.0; f.len()];
+    pcg_solve_from(k, f, &x0, m, opts)
+}
+
+/// Solve `K u = f` by PCG from the initial guess `u0`.
+///
+/// # Errors
+/// Same classes as [`pcg_solve`].
+pub fn pcg_solve_from(
+    k: &CsrMatrix,
+    f: &[f64],
+    u0: &[f64],
+    m: &impl Preconditioner,
+    opts: &PcgOptions,
+) -> Result<PcgSolution, SparseError> {
+    let n = k.rows();
+    if k.cols() != n {
+        return Err(SparseError::NotSquare {
+            rows: k.rows(),
+            cols: k.cols(),
+        });
+    }
+    if f.len() != n || u0.len() != n || m.dim() != n {
+        return Err(SparseError::ShapeMismatch {
+            left: (n, n),
+            right: (f.len(), u0.len().max(m.dim())),
+        });
+    }
+
+    let mut stats = PcgStats::default();
+    let mut history = Vec::new();
+
+    let f_norm = vecops::norm2(f);
+    if f_norm == 0.0 && u0.iter().all(|&v| v == 0.0) {
+        // Trivial system: the zero vector is exact.
+        return Ok(PcgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            converged: true,
+            final_change: 0.0,
+            final_relative_residual: 0.0,
+            history,
+            stats,
+        });
+    }
+
+    let mut u = u0.to_vec();
+    // r⁰ = f − K u⁰.
+    let mut r = f.to_vec();
+    k.mul_vec_axpy(-1.0, &u, &mut r);
+    stats.spmv += 1;
+
+    let mut rhat = vec![0.0; n];
+    m.apply(&r, &mut rhat);
+    stats.precond_applications += 1;
+    stats.precond_steps += m.steps_per_apply();
+
+    let mut p = rhat.clone();
+    let mut kp = vec![0.0; n];
+
+    let mut rz = vecops::dot(&rhat, &r);
+    stats.inner_products += 1;
+    if rz < 0.0 {
+        return Err(SparseError::NotPositiveDefinite {
+            pivot: 0,
+            value: rz,
+        });
+    }
+
+    let mut change = f64::INFINITY;
+    let mut completed = 0usize;
+    for iter in 1..=opts.max_iterations {
+        k.mul_vec_into(&p, &mut kp);
+        stats.spmv += 1;
+        let denom = vecops::dot(&p, &kp);
+        stats.inner_products += 1;
+        if denom <= 0.0 {
+            if rz == 0.0 {
+                // Exact convergence in fewer than n steps: residual is 0.
+                break;
+            }
+            return Err(SparseError::NotPositiveDefinite {
+                pivot: iter,
+                value: denom,
+            });
+        }
+        completed = iter;
+        let alpha = rz / denom;
+        vecops::axpy(alpha, &p, &mut u);
+        // ‖u^{k+1} − uᵏ‖∞ = |α|·‖p‖∞ — no extra vector needed.
+        change = alpha.abs() * vecops::norm_inf(&p);
+        vecops::axpy(-alpha, &kp, &mut r);
+
+        let crit_value = match opts.criterion {
+            StoppingCriterion::DisplacementChange => change,
+            StoppingCriterion::RelativeResidual => {
+                stats.inner_products += 1;
+                vecops::norm2(&r) / f_norm.max(1e-300)
+            }
+        };
+        if opts.record_history {
+            history.push(crit_value);
+        }
+        if crit_value < opts.tol {
+            let final_rel = vecops::norm2(&r) / f_norm.max(1e-300);
+            return Ok(PcgSolution {
+                x: u,
+                iterations: iter,
+                converged: true,
+                final_change: change,
+                final_relative_residual: final_rel,
+                history,
+                stats,
+            });
+        }
+
+        m.apply(&r, &mut rhat);
+        stats.precond_applications += 1;
+        stats.precond_steps += m.steps_per_apply();
+        let rz_new = vecops::dot(&rhat, &r);
+        stats.inner_products += 1;
+        if rz_new < 0.0 {
+            return Err(SparseError::NotPositiveDefinite {
+                pivot: iter,
+                value: rz_new,
+            });
+        }
+        let beta = rz_new / rz.max(1e-300);
+        rz = rz_new;
+        vecops::xpby(&rhat, beta, &mut p);
+    }
+
+    let final_rel = vecops::norm2(&r) / f_norm.max(1e-300);
+    // rz == 0 exact-breakdown exit lands here with converged status.
+    if rz == 0.0 || change < opts.tol {
+        return Ok(PcgSolution {
+            x: u,
+            iterations: completed,
+            converged: true,
+            final_change: change,
+            final_relative_residual: final_rel,
+            history,
+            stats,
+        });
+    }
+    Err(SparseError::DidNotConverge {
+        iterations: opts.max_iterations,
+        residual: final_rel,
+    })
+}
+
+/// Plain conjugate gradients (`M = I`) — the paper's `m = 0` baseline rows.
+///
+/// # Errors
+/// Same classes as [`pcg_solve`].
+pub fn cg_solve(k: &CsrMatrix, f: &[f64], opts: &PcgOptions) -> Result<PcgSolution, SparseError> {
+    pcg_solve(k, f, &IdentityPreconditioner::new(f.len()), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mstep::MStepSsorPreconditioner;
+    use crate::preconditioner::DiagonalPreconditioner;
+    use mspcg_coloring::Coloring;
+    use mspcg_sparse::{CooMatrix, Partition};
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut a = CooMatrix::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                a.push_sym(i, i + 1, -1.0).unwrap();
+            }
+        }
+        a.to_csr()
+    }
+
+    fn rb(n: usize) -> (CsrMatrix, Partition) {
+        let a = laplacian(n);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let ord = Coloring::from_labels(labels, 2).unwrap().ordering();
+        (ord.permute_matrix(&a).unwrap(), ord.partition)
+    }
+
+    #[test]
+    fn cg_solves_laplacian_to_direct_accuracy() {
+        let n = 24;
+        let a = laplacian(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * i) % 7) as f64 - 3.0).collect();
+        let b = a.mul_vec(&x_true);
+        let opts = PcgOptions {
+            tol: 1e-12,
+            criterion: StoppingCriterion::RelativeResidual,
+            ..Default::default()
+        };
+        let sol = cg_solve(&a, &b, &opts).unwrap();
+        assert!(sol.converged);
+        for (u, v) in sol.x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_on_zero_rhs_returns_zero() {
+        let a = laplacian(5);
+        let sol = cg_solve(&a, &[0.0; 5], &PcgOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.x, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn pcg_with_mstep_ssor_converges_in_fewer_iterations() {
+        let (a, p) = rb(64);
+        let x_true: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b = a.mul_vec(&x_true);
+        let opts = PcgOptions {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let plain = cg_solve(&a, &b, &opts).unwrap();
+        let pre = MStepSsorPreconditioner::unparametrized(&a, &p, 1).unwrap();
+        let pcg = pcg_solve(&a, &b, &pre, &opts).unwrap();
+        assert!(pcg.converged && plain.converged);
+        assert!(
+            pcg.iterations < plain.iterations,
+            "pcg {} !< cg {}",
+            pcg.iterations,
+            plain.iterations
+        );
+        // Both reach the true solution.
+        for (u, v) in pcg.x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parametrized_beats_unparametrized_at_same_m() {
+        let (a, p) = rb(128);
+        let b: Vec<f64> = (0..128).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let opts = PcgOptions {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        for m in [2usize, 3, 4] {
+            let un = MStepSsorPreconditioner::unparametrized(&a, &p, m).unwrap();
+            let pa = MStepSsorPreconditioner::parametrized(&a, &p, m).unwrap();
+            let s_un = pcg_solve(&a, &b, &un, &opts).unwrap();
+            let s_pa = pcg_solve(&a, &b, &pa, &opts).unwrap();
+            assert!(
+                s_pa.iterations <= s_un.iterations,
+                "m = {m}: parametrized {} > unparametrized {}",
+                s_pa.iterations,
+                s_un.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn iterations_decrease_with_m() {
+        let (a, p) = rb(128);
+        let b: Vec<f64> = (0..128).map(|i| (i as f64 * 0.05).cos()).collect();
+        let opts = PcgOptions {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let iters: Vec<usize> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&m| {
+                let pre = MStepSsorPreconditioner::unparametrized(&a, &p, m).unwrap();
+                pcg_solve(&a, &b, &pre, &opts).unwrap().iterations
+            })
+            .collect();
+        assert!(
+            iters.windows(2).all(|w| w[1] <= w[0]),
+            "not monotone: {iters:?}"
+        );
+    }
+
+    #[test]
+    fn indefinite_matrix_is_reported() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0).unwrap();
+        c.push(1, 1, -1.0).unwrap();
+        let a = c.to_csr();
+        let err = cg_solve(&a, &[1.0, 1.0], &PcgOptions::default());
+        assert!(matches!(
+            err,
+            Err(SparseError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let a = laplacian(50);
+        let b = vec![1.0; 50];
+        let opts = PcgOptions {
+            tol: 1e-14,
+            max_iterations: 2,
+            ..Default::default()
+        };
+        assert!(matches!(
+            cg_solve(&a, &b, &opts),
+            Err(SparseError::DidNotConverge { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_two_inner_products_per_iteration() {
+        let a = laplacian(16);
+        let b = vec![1.0; 16];
+        let sol = cg_solve(&a, &b, &PcgOptions::default()).unwrap();
+        // 1 initial + 2 per iteration, except the converging iteration (or
+        // an exact-breakdown probe) skips the second one: ≈ 2·I total —
+        // the paper's "two inner products per iteration".
+        assert!(
+            sol.stats.inner_products >= 2 * sol.iterations
+                && sol.stats.inner_products <= 2 * sol.iterations + 2,
+            "{} inner products for {} iterations",
+            sol.stats.inner_products,
+            sol.iterations
+        );
+        assert!(sol.stats.spmv >= sol.iterations && sol.stats.spmv <= sol.iterations + 2);
+    }
+
+    #[test]
+    fn history_is_recorded_and_decreasing_overall() {
+        let a = laplacian(32);
+        let b = vec![1.0; 32];
+        let opts = PcgOptions {
+            record_history: true,
+            ..Default::default()
+        };
+        let sol = cg_solve(&a, &b, &opts).unwrap();
+        assert_eq!(sol.history.len(), sol.iterations);
+        let first = sol.history[0];
+        let last = *sol.history.last().unwrap();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn diagonal_preconditioner_equals_cg_on_constant_diagonal() {
+        // With a constant diagonal, Jacobi scaling is a scalar multiple:
+        // identical iterates, identical counts.
+        let a = laplacian(20);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let opts = PcgOptions {
+            tol: 1e-9,
+            ..Default::default()
+        };
+        let cg = cg_solve(&a, &b, &opts).unwrap();
+        let dp = DiagonalPreconditioner::from_diag(&a.diag().unwrap()).unwrap();
+        let pj = pcg_solve(&a, &b, &dp, &opts).unwrap();
+        assert_eq!(cg.iterations, pj.iterations);
+    }
+
+    #[test]
+    fn warm_start_converges_immediately_at_solution() {
+        let a = laplacian(10);
+        let x_true: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b = a.mul_vec(&x_true);
+        let pre = IdentityPreconditioner::new(10);
+        let sol = pcg_solve_from(&a, &b, &x_true, &pre, &PcgOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert!(sol.iterations <= 1);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = laplacian(4);
+        let err = cg_solve(&a, &[1.0; 5], &PcgOptions::default());
+        assert!(matches!(err, Err(SparseError::ShapeMismatch { .. })));
+    }
+}

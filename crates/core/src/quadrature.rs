@@ -1,0 +1,144 @@
+//! Gauss–Legendre quadrature.
+//!
+//! The least-squares parametrization of §2.2 minimizes a weighted integral
+//! of the residual polynomial over the spectral interval. The integrands
+//! are polynomials of degree ≤ 2m + 2, so an n-point Gauss–Legendre rule
+//! with `2n − 1 ≥ 2m + 2` integrates them *exactly*; we use a generous rule
+//! so the normal equations are exact up to rounding.
+//!
+//! Nodes are computed by Newton iteration on the Legendre polynomial with
+//! the classical Chebyshev-based initial guess — no tables, any order.
+
+/// Nodes and weights of the `n`-point Gauss–Legendre rule on `[−1, 1]`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n > 0, "quadrature order must be positive");
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Initial guess: Chebyshev-like approximation of the i-th root.
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        // Newton iteration on P_n(x).
+        for _ in 0..100 {
+            let (p, dp) = legendre_and_derivative(n, x);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let (_, dp) = legendre_and_derivative(n, x);
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        nodes[i] = -x;
+        nodes[n - 1 - i] = x;
+        weights[i] = w;
+        weights[n - 1 - i] = w;
+    }
+    if n % 2 == 1 {
+        // Center point of odd rules is exactly 0.
+        nodes[n / 2] = 0.0;
+        let (_, dp) = legendre_and_derivative(n, 0.0);
+        weights[n / 2] = 2.0 / (dp * dp);
+    }
+    (nodes, weights)
+}
+
+/// `(P_n(x), P_n'(x))` via the three-term recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0f64;
+    let mut p1 = x;
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=n {
+        let k = k as f64;
+        let p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+    }
+    // P_n'(x) = n (x P_n − P_{n−1}) / (x² − 1).
+    let dp = if (x * x - 1.0).abs() < 1e-300 {
+        // Endpoint derivative: n(n+1)/2 with sign.
+        let nn = n as f64;
+        x.signum().powi(n as i32 + 1) * nn * (nn + 1.0) / 2.0
+    } else {
+        n as f64 * (x * p1 - p0) / (x * x - 1.0)
+    };
+    (p1, dp)
+}
+
+/// Integrate `f` over `[a, b]` with the `n`-point rule.
+///
+/// # Panics
+/// Panics if `n == 0` or `b < a`.
+pub fn integrate<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(b >= a, "inverted integration interval");
+    let (nodes, weights) = gauss_legendre(n);
+    let c = 0.5 * (a + b);
+    let h = 0.5 * (b - a);
+    let mut s = 0.0;
+    for (x, w) in nodes.iter().zip(&weights) {
+        s += w * f(c + h * x);
+    }
+    s * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in [1usize, 2, 3, 5, 8, 16, 33, 64] {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-13, "n = {n}: {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_are_symmetric_and_sorted() {
+        let (x, _) = gauss_legendre(7);
+        for i in 0..7 {
+            assert!((x[i] + x[6 - i]).abs() < 1e-14);
+            if i > 0 {
+                assert!(x[i] > x[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_degree_2n_minus_1() {
+        // n = 4 integrates degree 7 exactly: ∫₀¹ x⁷ dx = 1/8.
+        let v = integrate(|x| x.powi(7), 0.0, 1.0, 4);
+        assert!((v - 0.125).abs() < 1e-14, "{v}");
+        // Degree 8 with n = 4 is NOT exact — sanity that the bound is tight.
+        let v8 = integrate(|x| x.powi(8), 0.0, 1.0, 4);
+        assert!((v8 - 1.0 / 9.0).abs() > 1e-9);
+        let v8b = integrate(|x| x.powi(8), 0.0, 1.0, 5);
+        assert!((v8b - 1.0 / 9.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn integrates_transcendental_accurately() {
+        let v = integrate(f64::sin, 0.0, std::f64::consts::PI, 24);
+        assert!((v - 2.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn one_point_rule_is_midpoint() {
+        let (x, w) = gauss_legendre(1);
+        assert_eq!(x, vec![0.0]);
+        assert!((w[0] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn high_order_rules_stay_stable() {
+        let (x, w) = gauss_legendre(128);
+        assert!(x.iter().all(|v| v.is_finite() && v.abs() < 1.0));
+        assert!(w.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+}

@@ -1,0 +1,209 @@
+//! Constant-strain triangle (CST) for plane stress.
+//!
+//! The plate problem of §3 uses linear basis functions on triangles; the
+//! resulting element stiffness is the classical `Kₑ = A·t·Bᵀ D B` with the
+//! strain-displacement matrix `B` constant over the element. The governing
+//! plane-stress equations are standard (the paper cites Norrie & DeVries
+//! 1978) — what matters downstream is that assembly produces an SPD matrix
+//! with the Fig. 2 stencil.
+
+/// Isotropic plane-stress material.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Young's modulus `E`.
+    pub youngs: f64,
+    /// Poisson ratio `ν ∈ (0, 0.5)`.
+    pub poisson: f64,
+    /// Plate thickness `t`.
+    pub thickness: f64,
+}
+
+impl Material {
+    /// Normalized material (`E = 1`, `ν = 0.3`, `t = 1`): keeps matrix
+    /// entries O(1) so iteration counts, not floating-point range, drive the
+    /// experiments. The preconditioned iteration is invariant under global
+    /// scaling of `K`, so this loses no generality vs. steel.
+    pub fn unit() -> Self {
+        Material {
+            youngs: 1.0,
+            poisson: 0.3,
+            thickness: 1.0,
+        }
+    }
+
+    /// Steel-like values in SI units (Pa, m).
+    pub fn steel() -> Self {
+        Material {
+            youngs: 200e9,
+            poisson: 0.3,
+            thickness: 0.01,
+        }
+    }
+
+    /// The 3×3 plane-stress constitutive matrix
+    /// `D = E/(1−ν²) · [[1, ν, 0], [ν, 1, 0], [0, 0, (1−ν)/2]]`.
+    pub fn d_matrix(&self) -> [[f64; 3]; 3] {
+        let e = self.youngs;
+        let nu = self.poisson;
+        let f = e / (1.0 - nu * nu);
+        [
+            [f, f * nu, 0.0],
+            [f * nu, f, 0.0],
+            [0.0, 0.0, f * (1.0 - nu) / 2.0],
+        ]
+    }
+}
+
+/// Element stiffness of the CST with vertices `p1, p2, p3` (counterclockwise
+/// `(x, y)` pairs). Returns the 6×6 matrix over dofs
+/// `(u₁, v₁, u₂, v₂, u₃, v₃)` and the signed area is validated.
+///
+/// # Panics
+/// Panics on degenerate (zero-area) or clockwise triangles — mesh
+/// generation controls orientation, so this is a programming error, not an
+/// input error.
+pub fn cst_stiffness(p1: [f64; 2], p2: [f64; 2], p3: [f64; 2], mat: &Material) -> [[f64; 6]; 6] {
+    let det = (p2[0] - p1[0]) * (p3[1] - p1[1]) - (p3[0] - p1[0]) * (p2[1] - p1[1]);
+    assert!(
+        det > 1e-14,
+        "degenerate or clockwise triangle (det = {det})"
+    );
+    let area = 0.5 * det;
+    // b_i = y_j − y_k, c_i = x_k − x_j (cyclic i, j, k).
+    let b = [p2[1] - p3[1], p3[1] - p1[1], p1[1] - p2[1]];
+    let c = [p3[0] - p2[0], p1[0] - p3[0], p2[0] - p1[0]];
+    let s = 1.0 / (2.0 * area);
+    // B is 3×6: row 0 = ∂u/∂x, row 1 = ∂v/∂y, row 2 = shear.
+    let mut bm = [[0.0f64; 6]; 3];
+    for i in 0..3 {
+        bm[0][2 * i] = s * b[i];
+        bm[1][2 * i + 1] = s * c[i];
+        bm[2][2 * i] = s * c[i];
+        bm[2][2 * i + 1] = s * b[i];
+    }
+    let d = mat.d_matrix();
+    // Kₑ = area · t · Bᵀ D B.
+    let mut db = [[0.0f64; 6]; 3];
+    for r in 0..3 {
+        for col in 0..6 {
+            let mut acc = 0.0;
+            for k in 0..3 {
+                acc += d[r][k] * bm[k][col];
+            }
+            db[r][col] = acc;
+        }
+    }
+    let w = area * mat.thickness;
+    let mut ke = [[0.0f64; 6]; 6];
+    for r in 0..6 {
+        for col in 0..6 {
+            let mut acc = 0.0;
+            for k in 0..3 {
+                acc += bm[k][r] * db[k][col];
+            }
+            ke[r][col] = w * acc;
+        }
+    }
+    ke
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_right_triangle() -> [[f64; 6]; 6] {
+        cst_stiffness([0.0, 0.0], [1.0, 0.0], [0.0, 1.0], &Material::unit())
+    }
+
+    #[test]
+    fn stiffness_is_symmetric() {
+        let ke = unit_right_triangle();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((ke[i][j] - ke[j][i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn rigid_translations_are_in_null_space() {
+        let ke = unit_right_triangle();
+        // Pure x-translation and pure y-translation produce zero force.
+        for mode in [
+            [1.0, 0.0, 1.0, 0.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+        ] {
+            for i in 0..6 {
+                let f: f64 = (0..6).map(|j| ke[i][j] * mode[j]).sum();
+                assert!(f.abs() < 1e-13, "row {i}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn rigid_rotation_is_in_null_space() {
+        // Infinitesimal rotation about origin: (u, v) = (−y, x) at each node.
+        let pts = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]];
+        let ke = unit_right_triangle();
+        let mut mode = [0.0f64; 6];
+        for (k, p) in pts.iter().enumerate() {
+            mode[2 * k] = -p[1];
+            mode[2 * k + 1] = p[0];
+        }
+        for i in 0..6 {
+            let f: f64 = (0..6).map(|j| ke[i][j] * mode[j]).sum();
+            assert!(f.abs() < 1e-13, "row {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn stiffness_is_positive_semidefinite() {
+        // All 1D sections x'Kx >= 0 for a sample of vectors.
+        let ke = unit_right_triangle();
+        let probes = [
+            [1.0, 0.0, -1.0, 0.5, 0.0, 0.25],
+            [0.0, 2.0, 1.0, -1.0, 0.5, 0.0],
+            [1.0, 1.0, 0.0, 0.0, -1.0, -1.0],
+        ];
+        for x in probes {
+            let mut q = 0.0;
+            for i in 0..6 {
+                for j in 0..6 {
+                    q += x[i] * ke[i][j] * x[j];
+                }
+            }
+            assert!(q >= -1e-12, "negative energy {q}");
+        }
+    }
+
+    #[test]
+    fn scaling_with_youngs_modulus_is_linear() {
+        let m1 = Material::unit();
+        let m2 = Material {
+            youngs: 7.0,
+            ..Material::unit()
+        };
+        let k1 = cst_stiffness([0.0, 0.0], [1.0, 0.0], [0.0, 1.0], &m1);
+        let k2 = cst_stiffness([0.0, 0.0], [1.0, 0.0], [0.0, 1.0], &m2);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((k2[i][j] - 7.0 * k1[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_triangle_panics() {
+        cst_stiffness([0.0, 0.0], [1.0, 0.0], [2.0, 0.0], &Material::unit());
+    }
+
+    #[test]
+    fn d_matrix_plane_stress_structure() {
+        let d = Material::unit().d_matrix();
+        assert!((d[0][0] - 1.0 / 0.91).abs() < 1e-12);
+        assert!((d[0][1] - 0.3 / 0.91).abs() < 1e-12);
+        assert_eq!(d[0][2], 0.0);
+        assert!((d[2][2] - 0.35 / 0.91).abs() < 1e-12);
+    }
+}

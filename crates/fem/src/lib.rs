@@ -1,0 +1,34 @@
+//! # mspcg-fem
+//!
+//! Finite-element substrate reproducing the paper's test problem: a
+//! rectangular **plane-stress plate** discretized with linear (constant
+//! strain) triangles, clamped along one edge and loaded along another
+//! (§3 of Adams 1983). The assembled stiffness matrix is symmetric positive
+//! definite, has dimension `2·a·b` (`a` rows of nodes, `b` columns of
+//! unconstrained nodes, two displacement unknowns per node), and at most 14
+//! nonzeros per row — the grid-point stencil of Fig. 2.
+//!
+//! Modules:
+//! * [`element`] — the CST plane-stress element stiffness,
+//! * [`mesh`] — the triangulated node grid (anti-diagonal cell split),
+//! * [`plate`] — the full model problem: assembly, constraints, loads,
+//!   multicolor ordering,
+//! * [`stencil`] — stencil extraction and the Fig. 2 renderer,
+//! * [`poisson`] — a 5-point Laplacian generator (red/black coloring) used
+//!   to demonstrate that the method is not tied to elasticity.
+
+// Indexed `for i in 0..n` loops are deliberate throughout the numeric
+// kernels: they address several parallel arrays (CSR structure, split
+// points, diagonals) by the same row index, where iterator zips would
+// obscure the math. Clippy's needless_range_loop lint fires on exactly
+// this pattern, so it is allowed crate-wide.
+#![allow(clippy::needless_range_loop)]
+pub mod element;
+pub mod mesh;
+pub mod plate;
+pub mod poisson;
+pub mod stencil;
+
+pub use element::Material;
+pub use mesh::PlateMesh;
+pub use plate::{AssembledProblem, OrderedProblem, PlaneStressProblem};

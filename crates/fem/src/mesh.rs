@@ -1,0 +1,200 @@
+//! The triangulated rectangular node grid.
+//!
+//! Nodes form a `rows × cols` lattice, numbered row-major from the bottom
+//! left (the paper's "bottom to top, left to right"). Every grid cell is
+//! split into two triangles by its **anti-diagonal** (from the cell's
+//! top-left to bottom-right corner), which yields exactly the Fig. 2
+//! grid-point stencil: a node couples to its N, S, E, W neighbours plus the
+//! NW and SE diagonal neighbours — 7 nodes × 2 dofs = 14 entries per matrix
+//! row.
+
+/// A structured triangulated rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlateMesh {
+    /// Number of node rows (the paper's `a`).
+    pub rows: usize,
+    /// Number of node columns.
+    pub cols: usize,
+    /// Horizontal node spacing.
+    pub dx: f64,
+    /// Vertical node spacing.
+    pub dy: f64,
+}
+
+impl PlateMesh {
+    /// Unit-square plate with `n × n` nodes (the paper's test geometry; the
+    /// triangle width is `1/(n−1)`, cf. the "width 1/54 when a = 55"
+    /// remark in §3.1).
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn unit_square(n: usize) -> Self {
+        assert!(n >= 2, "mesh needs at least 2x2 nodes");
+        let h = 1.0 / (n as f64 - 1.0);
+        PlateMesh {
+            rows: n,
+            cols: n,
+            dx: h,
+            dy: h,
+        }
+    }
+
+    /// General rectangle with explicit spacing.
+    ///
+    /// # Panics
+    /// Panics if either dimension has fewer than 2 nodes or spacing ≤ 0.
+    pub fn rectangle(rows: usize, cols: usize, dx: f64, dy: f64) -> Self {
+        assert!(rows >= 2 && cols >= 2, "mesh needs at least 2x2 nodes");
+        assert!(dx > 0.0 && dy > 0.0, "node spacing must be positive");
+        PlateMesh { rows, cols, dx, dy }
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total triangle count (two per cell).
+    #[inline]
+    pub fn num_triangles(&self) -> usize {
+        2 * (self.rows - 1) * (self.cols - 1)
+    }
+
+    /// Row-major node index of grid position `(row, col)`.
+    #[inline]
+    pub fn node_index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Grid position of node `idx`.
+    #[inline]
+    pub fn node_row_col(&self, idx: usize) -> (usize, usize) {
+        (idx / self.cols, idx % self.cols)
+    }
+
+    /// Physical coordinates of node `idx`.
+    #[inline]
+    pub fn node_coords(&self, idx: usize) -> [f64; 2] {
+        let (r, c) = self.node_row_col(idx);
+        [c as f64 * self.dx, r as f64 * self.dy]
+    }
+
+    /// Iterate all triangles as CCW node-index triples.
+    ///
+    /// Cell `(i, j)` (lower-left node `(i, j)`) produces:
+    /// * lower triangle `[(i,j), (i,j+1), (i+1,j)]`,
+    /// * upper triangle `[(i,j+1), (i+1,j+1), (i+1,j)]`.
+    pub fn triangles(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
+        let cols = self.cols;
+        (0..self.rows - 1).flat_map(move |i| {
+            (0..cols - 1).flat_map(move |j| {
+                let bl = i * cols + j;
+                let br = bl + 1;
+                let tl = bl + cols;
+                let tr = tl + 1;
+                [[bl, br, tl], [br, tr, tl]]
+            })
+        })
+    }
+
+    /// Stencil neighbours of node `(row, col)` under the anti-diagonal
+    /// triangulation: N, S, E, W, NW, SE (those inside the grid). Excludes
+    /// the node itself.
+    pub fn stencil_neighbors(&self, row: usize, col: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(6);
+        let r = row as isize;
+        let c = col as isize;
+        for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0), (1, -1), (-1, 1)] {
+            let (nr, nc) = (r + dr, c + dc);
+            if nr >= 0 && nr < self.rows as isize && nc >= 0 && nc < self.cols as isize {
+                out.push(self.node_index(nr as usize, nc as usize));
+            }
+        }
+        out
+    }
+
+    /// Verify mesh/triangulation consistency: every triangle CCW, every
+    /// triangle edge between stencil neighbours.
+    pub fn is_consistent(&self) -> bool {
+        for t in self.triangles() {
+            let p: Vec<[f64; 2]> = t.iter().map(|&n| self.node_coords(n)).collect();
+            let det = (p[1][0] - p[0][0]) * (p[2][1] - p[0][1])
+                - (p[2][0] - p[0][0]) * (p[1][1] - p[0][1]);
+            if det <= 0.0 {
+                return false;
+            }
+            for k in 0..3 {
+                let (a, b) = (t[k], t[(k + 1) % 3]);
+                let (ar, ac) = self.node_row_col(a);
+                if !self.stencil_neighbors(ar, ac).contains(&b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_square_spacing() {
+        let m = PlateMesh::unit_square(5);
+        assert_eq!(m.num_nodes(), 25);
+        assert_eq!(m.num_triangles(), 32);
+        assert!((m.dx - 0.25).abs() < 1e-15);
+        assert_eq!(m.node_coords(24), [1.0, 1.0]);
+    }
+
+    #[test]
+    fn node_indexing_round_trip() {
+        let m = PlateMesh::rectangle(3, 4, 0.5, 0.25);
+        for idx in 0..m.num_nodes() {
+            let (r, c) = m.node_row_col(idx);
+            assert_eq!(m.node_index(r, c), idx);
+        }
+    }
+
+    #[test]
+    fn triangles_are_ccw_and_cover_cells() {
+        let m = PlateMesh::unit_square(4);
+        assert!(m.is_consistent());
+        assert_eq!(m.triangles().count(), m.num_triangles());
+    }
+
+    #[test]
+    fn interior_node_has_six_stencil_neighbors() {
+        let m = PlateMesh::unit_square(5);
+        assert_eq!(m.stencil_neighbors(2, 2).len(), 6);
+        // Corner (0,0) touches E, N, NW(out), SE(out) -> E, N only... plus
+        // the anti-diagonal: NW is (1,-1) out, SE is (-1,1) out: 2 nbrs.
+        assert_eq!(m.stencil_neighbors(0, 0).len(), 2);
+        // Corner (0, cols-1): W, N, NW -> 3 neighbours.
+        assert_eq!(m.stencil_neighbors(0, 4).len(), 3);
+    }
+
+    #[test]
+    fn stencil_is_symmetric() {
+        let m = PlateMesh::unit_square(6);
+        for idx in 0..m.num_nodes() {
+            let (r, c) = m.node_row_col(idx);
+            for &n in &m.stencil_neighbors(r, c) {
+                let (nr, nc) = m.node_row_col(n);
+                assert!(
+                    m.stencil_neighbors(nr, nc).contains(&idx),
+                    "asymmetric stencil {idx} <-> {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_mesh_panics() {
+        PlateMesh::unit_square(1);
+    }
+}

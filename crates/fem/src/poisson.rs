@@ -1,0 +1,277 @@
+//! 5-point Laplacian model problem.
+//!
+//! The m-step method is not specific to elasticity: any SPD system with a
+//! multicolor ordering works. This generator produces the classic
+//! `−Δu = f` discretization on an `n × n` interior grid with a manufactured
+//! solution, together with its red/black two-coloring — the smallest
+//! multicolor ordering — so examples and tests can exercise the solver
+//! stack on a second problem family (cf. Concus–Golub–O'Leary 1976).
+
+use mspcg_coloring::Coloring;
+use mspcg_sparse::{CooMatrix, CsrMatrix, SparseError};
+
+/// A Poisson model problem on the unit square.
+#[derive(Debug, Clone)]
+pub struct PoissonProblem {
+    /// SPD matrix (5-point stencil, scaled by `1/h²`).
+    pub matrix: CsrMatrix,
+    /// Right-hand side for the manufactured solution.
+    pub rhs: Vec<f64>,
+    /// The manufactured exact solution on the grid.
+    pub exact: Vec<f64>,
+    /// Red/black coloring of the grid points.
+    pub coloring: Coloring,
+    /// Interior grid dimension.
+    pub n: usize,
+}
+
+/// Build the 5-point Poisson problem on an `n × n` interior grid with
+/// manufactured solution `u(x, y) = x(1−x)·y(1−y)`.
+///
+/// Two deliberate properties of this choice:
+/// * it is **not** an eigenfunction of the Laplacian, so the right-hand
+///   side has full spectral content and iteration counts are honest
+///   (a `sin·sin` solution makes CG converge in O(1) steps!),
+/// * its fourth derivatives vanish, so the 5-point stencil is *exact* and
+///   the discrete solution equals the manufactured one at the grid points
+///   up to solver tolerance.
+///
+/// # Errors
+/// Propagates construction errors (degenerate only for `n == 0`).
+pub fn poisson5(n: usize) -> Result<PoissonProblem, SparseError> {
+    assert!(n >= 2, "poisson grid needs n >= 2");
+    let h = 1.0 / (n as f64 + 1.0);
+    let n2 = n * n;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut coo = CooMatrix::with_capacity(n2, n2, 5 * n2);
+    for i in 0..n {
+        for j in 0..n {
+            let me = idx(i, j);
+            coo.push(me, me, 4.0)?;
+            if i > 0 {
+                coo.push(me, idx(i - 1, j), -1.0)?;
+            }
+            if i + 1 < n {
+                coo.push(me, idx(i + 1, j), -1.0)?;
+            }
+            if j > 0 {
+                coo.push(me, idx(i, j - 1), -1.0)?;
+            }
+            if j + 1 < n {
+                coo.push(me, idx(i, j + 1), -1.0)?;
+            }
+        }
+    }
+    let mut matrix = coo.to_csr();
+    // Scale to 1/h² (keeps the operator consistent with −Δ).
+    let inv_h2 = 1.0 / (h * h);
+    for v in matrix.values_mut() {
+        *v *= inv_h2;
+    }
+
+    let mut exact = vec![0.0; n2];
+    let mut rhs = vec![0.0; n2];
+    for i in 0..n {
+        for j in 0..n {
+            let x = (j as f64 + 1.0) * h;
+            let y = (i as f64 + 1.0) * h;
+            // u = x(1−x)·y(1−y), f = −Δu = 2·[y(1−y) + x(1−x)].
+            exact[idx(i, j)] = x * (1.0 - x) * y * (1.0 - y);
+            rhs[idx(i, j)] = 2.0 * (y * (1.0 - y) + x * (1.0 - x));
+        }
+    }
+
+    let labels: Vec<usize> = (0..n2)
+        .map(|k| {
+            let (i, j) = (k / n, k % n);
+            (i + j) % 2
+        })
+        .collect();
+    let coloring = Coloring::from_labels(labels, 2)?;
+    Ok(PoissonProblem {
+        matrix,
+        rhs,
+        exact,
+        coloring,
+        n,
+    })
+}
+
+/// Build the **9-point** Laplacian (compact fourth-order stencil) on an
+/// `n × n` interior grid with the same manufactured solution as
+/// [`poisson5`], together with its **four-coloring** — §3's remark that
+/// Algorithm 2 "can easily be modified … for finite differences as long as
+/// a multicolor ordering is used", exercised on a denser stencil where two
+/// colors no longer suffice.
+///
+/// Stencil (scaled by `1/(6h²)`): center 20, edge neighbours −4, corner
+/// neighbours −1. Colors: `2·(i mod 2) + (j mod 2)` — the classic 2×2
+/// block coloring that decouples all eight neighbours.
+///
+/// # Errors
+/// Propagates construction errors.
+pub fn poisson9(n: usize) -> Result<PoissonProblem, SparseError> {
+    assert!(n >= 2, "poisson grid needs n >= 2");
+    let h = 1.0 / (n as f64 + 1.0);
+    let n2 = n * n;
+    let idx = |i: usize, j: usize| i * n + j;
+    let scale = 1.0 / (6.0 * h * h);
+    let mut coo = CooMatrix::with_capacity(n2, n2, 9 * n2);
+    for i in 0..n {
+        for j in 0..n {
+            let me = idx(i, j);
+            coo.push(me, me, 20.0 * scale)?;
+            let mut link = |di: isize, dj: isize, w: f64| -> Result<(), SparseError> {
+                let (ii, jj) = (i as isize + di, j as isize + dj);
+                if ii >= 0 && jj >= 0 && (ii as usize) < n && (jj as usize) < n {
+                    coo.push(me, idx(ii as usize, jj as usize), w * scale)?;
+                }
+                Ok(())
+            };
+            for (di, dj) in [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)] {
+                link(di, dj, -4.0)?;
+            }
+            for (di, dj) in [(-1isize, -1isize), (-1, 1), (1, -1), (1, 1)] {
+                link(di, dj, -1.0)?;
+            }
+        }
+    }
+    let matrix = coo.to_csr();
+
+    let mut exact = vec![0.0; n2];
+    for i in 0..n {
+        for j in 0..n {
+            let x = (j as f64 + 1.0) * h;
+            let y = (i as f64 + 1.0) * h;
+            exact[idx(i, j)] = x * (1.0 - x) * y * (1.0 - y);
+        }
+    }
+    // Discrete manufactured RHS: f_h = A·u_exact. The manufactured u
+    // vanishes on the boundary, so no Dirichlet correction terms arise and
+    // the discrete solution equals `exact` up to solver tolerance.
+    let rhs = matrix.mul_vec(&exact);
+
+    let labels: Vec<usize> = (0..n2)
+        .map(|k| {
+            let (i, j) = (k / n, k % n);
+            2 * (i % 2) + (j % 2)
+        })
+        .collect();
+    let coloring = Coloring::from_labels(labels, 4)?;
+    Ok(PoissonProblem {
+        matrix,
+        rhs,
+        exact,
+        coloring,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_spd_and_symmetric() {
+        let p = poisson5(6).unwrap();
+        p.matrix.check_symmetric(1e-12).unwrap();
+        p.matrix.to_dense().cholesky().unwrap();
+    }
+
+    #[test]
+    fn red_black_coloring_is_valid() {
+        let p = poisson5(7).unwrap();
+        p.coloring.verify_for(&p.matrix).unwrap();
+        assert_eq!(p.coloring.num_colors(), 2);
+    }
+
+    #[test]
+    fn direct_solution_equals_manufactured() {
+        // The stencil is exact for this polynomial solution (4th
+        // derivatives vanish), so the direct solve reproduces it to
+        // rounding.
+        let p = poisson5(20).unwrap();
+        let x = p.matrix.to_dense().cholesky().unwrap().solve(&p.rhs);
+        let err = x
+            .iter()
+            .zip(&p.exact)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-10, "should be exact, got {err}");
+    }
+
+    #[test]
+    fn five_point_structure() {
+        let p = poisson5(5).unwrap();
+        assert!(p.matrix.max_row_nnz() <= 5);
+        // Interior point has exactly 5 entries.
+        assert_eq!(p.matrix.row_nnz(2 * 5 + 2), 5);
+    }
+
+    #[test]
+    fn gershgorin_interval_is_positive_for_poisson() {
+        let p = poisson5(8).unwrap();
+        let (lo, hi) = p.matrix.gershgorin_interval();
+        assert!(lo >= 0.0);
+        assert!(hi > 0.0);
+    }
+
+    #[test]
+    fn nine_point_matrix_is_spd_with_valid_four_coloring() {
+        let p = poisson9(7).unwrap();
+        p.matrix.check_symmetric(1e-9).unwrap();
+        p.matrix.to_dense().cholesky().unwrap();
+        assert_eq!(p.coloring.num_colors(), 4);
+        p.coloring.verify_for(&p.matrix).unwrap();
+        // Red/black would NOT decouple the 9-point stencil: diagonal
+        // neighbours share the 2-color parity.
+        let rb = Coloring::from_labels(
+            (0..49).map(|k| (k / 7 + k % 7) % 2).collect(),
+            2,
+        )
+        .unwrap();
+        assert!(rb.verify_for(&p.matrix).is_err());
+    }
+
+    #[test]
+    fn nine_point_direct_solution_matches_discrete_rhs() {
+        let p = poisson9(10).unwrap();
+        let x = p.matrix.to_dense().cholesky().unwrap().solve(&p.rhs);
+        let err = x
+            .iter()
+            .zip(&p.exact)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-10, "rhs construction should be exact: {err}");
+    }
+
+    #[test]
+    fn nine_point_stencil_has_nine_entries() {
+        let p = poisson9(5).unwrap();
+        assert!(p.matrix.max_row_nnz() <= 9);
+        assert_eq!(p.matrix.row_nnz(2 * 5 + 2), 9);
+    }
+
+    #[test]
+    fn mstep_ssor_works_on_four_colored_nine_point() {
+        // End-to-end: the denser stencil runs through the same machinery.
+        let p = poisson9(8).unwrap();
+        let ord = p.coloring.ordering();
+        let a = ord.permute_matrix(&p.matrix).unwrap();
+        let rhs = ord.permutation.gather(&p.rhs);
+        use mspcg_sparse::vecops;
+        // Direct reference.
+        let exact = a.to_dense().cholesky().unwrap().solve(&rhs);
+        // 2-step multicolor SSOR PCG via the core crate is tested in the
+        // integration suite; here verify the blocked structure invariant
+        // that enables it: diagonal blocks are diagonal.
+        for blk in ord.partition.iter() {
+            for i in blk.clone() {
+                for (j, _) in a.row_entries(i) {
+                    assert!(!blk.contains(&j) || j == i);
+                }
+            }
+        }
+        assert!(vecops::norm2(&exact) > 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Machine model parameters.
+//!
+//! Defaults are calibrated to the qualitative facts the paper states, not
+//! to vendor datasheets: what matters for reproducing the *shape* of
+//! Tables 2 and 3 is the ratio between long-vector throughput, vector
+//! startup, and reduction cost (CYBER), and between arithmetic and
+//! communication (Finite Element Machine).
+
+use serde::{Deserialize, Serialize};
+
+/// CYBER 203/205 pipeline model (§3.1).
+///
+/// A vector instruction over `n` elements costs
+/// `(vector_startup + n · vector_per_element)` cycles, so the pipeline
+/// efficiency is `n / (startup + n)`: with the default startup of 111
+/// cycles this gives 90 % at n = 1000, ≈47 % at n = 100 and ≈8 % at
+/// n = 10 — the figures quoted in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VectorMachineParams {
+    /// Seconds per machine cycle (CYBER 203 class: 40 ns).
+    pub cycle_time: f64,
+    /// Startup (pipeline fill) cycles per vector instruction.
+    pub vector_startup: f64,
+    /// Cycles per element in streaming mode.
+    pub vector_per_element: f64,
+    /// Cycles per scalar operation (address arithmetic, loop control).
+    pub scalar_op: f64,
+    /// Extra startup factor for the recursive-halving sum phase of an
+    /// inner product: the sum costs `Σ_k (startup + n/2^k)` cycles
+    /// ≈ `startup·log₂n + n`, which is what makes inner products
+    /// "considerably slower than the other vector operations".
+    pub reduction_levels_cost: f64,
+}
+
+impl Default for VectorMachineParams {
+    fn default() -> Self {
+        VectorMachineParams {
+            cycle_time: 40e-9,
+            vector_startup: 111.0,
+            vector_per_element: 1.0,
+            scalar_op: 10.0,
+            reduction_levels_cost: 1.0,
+        }
+    }
+}
+
+impl VectorMachineParams {
+    /// Seconds for one vector operation of length `n`.
+    pub fn vec_op(&self, n: usize) -> f64 {
+        (self.vector_startup + n as f64 * self.vector_per_element) * self.cycle_time
+    }
+
+    /// Pipeline efficiency at vector length `n` (asymptotic rate fraction).
+    pub fn efficiency(&self, n: usize) -> f64 {
+        let n = n as f64;
+        n * self.vector_per_element / (self.vector_startup + n * self.vector_per_element)
+    }
+
+    /// Seconds for an inner product of length `n`: one vectorized multiply
+    /// plus the recursive-halving partial-sum phase.
+    pub fn dot(&self, n: usize) -> f64 {
+        let mult = self.vec_op(n);
+        let levels = (n.max(2) as f64).log2().ceil();
+        let sums = (levels * self.vector_startup * self.reduction_levels_cost
+            + n as f64 * self.vector_per_element)
+            * self.cycle_time;
+        mult + sums
+    }
+
+    /// Seconds for the max-norm convergence test: a fused
+    /// subtract-and-absolute-value vector op plus a max reduction with the
+    /// same halving structure as the dot sum phase.
+    pub fn max_reduction(&self, n: usize) -> f64 {
+        let vecphase = self.vec_op(n);
+        let levels = (n.max(2) as f64).log2().ceil();
+        vecphase
+            + (levels * self.vector_startup * self.reduction_levels_cost
+                + n as f64 * self.vector_per_element)
+                * self.cycle_time
+    }
+
+    /// Seconds for `k` scalar operations.
+    pub fn scalar(&self, k: usize) -> f64 {
+        k as f64 * self.scalar_op * self.cycle_time
+    }
+}
+
+/// Finite Element Machine model (§3.2).
+///
+/// An array of identical microprocessors; eight nearest-neighbour links;
+/// a global flag network (AND of per-processor convergence flags); global
+/// sums either through a software tree on the links or the sum/max
+/// hardware circuit (O(log₂ P), the paper says the circuit was designed
+/// precisely because the software path was "potentially detrimental").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayMachineParams {
+    /// Seconds per floating-point operation on one processor (1983
+    /// microprocessor class, software floating point).
+    pub flop_time: f64,
+    /// Per-message startup on a neighbour link (values of one color packed
+    /// into a single record, as §3.2 recommends).
+    pub comm_startup: f64,
+    /// Per-8-byte-word transfer time on a link.
+    pub comm_per_word: f64,
+    /// Flag-network convergence test (synchronize + test-all-flags).
+    pub flag_sync: f64,
+    /// Use the sum/max hardware circuit for global reductions.
+    pub sum_circuit: bool,
+    /// Per-tree-level time of the sum/max circuit.
+    pub sum_level_time: f64,
+}
+
+impl Default for ArrayMachineParams {
+    fn default() -> Self {
+        // Calibrated against the paper's own Table 3: 48 CG iterations on
+        // 60 equations took 63.35 s on one processor (~650 µs per software
+        // floating-point operation on the TI-9900-class CPUs), and the
+        // per-step preconditioner cost B roughly equals the per-iteration
+        // cost A. The communication constants reproduce the measured
+        // speedups (≈1.9 on 2 processors, ≈3.6 on 5 for m = 0, drifting
+        // down with m).
+        ArrayMachineParams {
+            flop_time: 600e-6,
+            comm_startup: 6e-3,
+            comm_per_word: 200e-6,
+            flag_sync: 3e-3,
+            sum_circuit: false,
+            sum_level_time: 1e-3,
+        }
+    }
+}
+
+impl ArrayMachineParams {
+    /// Seconds to send one record of `words` f64 values to a neighbour.
+    pub fn message(&self, words: usize) -> f64 {
+        self.comm_startup + words as f64 * self.comm_per_word
+    }
+
+    /// Seconds for a global sum across `p` processors (beyond the local
+    /// partial sums): hardware circuit or software gather over the links.
+    pub fn global_sum(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        if self.sum_circuit {
+            (p as f64).log2().ceil() * self.sum_level_time
+        } else {
+            // Software tree on the links: one message per level per node.
+            let levels = (p as f64).log2().ceil();
+            levels * self.message(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_matches_paper_quotes() {
+        let p = VectorMachineParams::default();
+        assert!((p.efficiency(1000) - 0.9).abs() < 0.01);
+        assert!(p.efficiency(100) > 0.4 && p.efficiency(100) < 0.55);
+        assert!(p.efficiency(10) < 0.12);
+    }
+
+    #[test]
+    fn dot_is_slower_than_vec_op() {
+        let p = VectorMachineParams::default();
+        for n in [50usize, 500, 5000] {
+            assert!(p.dot(n) > 1.5 * p.vec_op(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn vec_op_scales_linearly_at_large_n() {
+        let p = VectorMachineParams::default();
+        let t1 = p.vec_op(10_000);
+        let t2 = p.vec_op(20_000);
+        assert!((t2 / t1 - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn circuit_sum_is_faster_than_software() {
+        let soft = ArrayMachineParams::default();
+        let hard = ArrayMachineParams {
+            sum_circuit: true,
+            ..Default::default()
+        };
+        assert!(hard.global_sum(8) < soft.global_sum(8));
+        assert_eq!(soft.global_sum(1), 0.0);
+    }
+
+    #[test]
+    fn message_cost_has_startup() {
+        let p = ArrayMachineParams::default();
+        assert!(p.message(0) > 0.0);
+        assert!(p.message(10) > p.message(1));
+    }
+}

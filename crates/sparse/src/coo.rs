@@ -1,0 +1,194 @@
+//! Coordinate (triplet) format — the assembly-friendly builder.
+//!
+//! Finite-element assembly (see `mspcg-fem`) naturally produces duplicate
+//! `(row, col, value)` contributions, one per element sharing a node pair.
+//! [`CooMatrix`] accumulates them and [`CooMatrix::to_csr`] compresses into
+//! sorted, deduplicated CSR.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix under construction, stored as unsorted triplets.
+#[derive(Debug, Clone)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// New empty builder of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// New builder with pre-reserved triplet capacity (FEM assembly knows
+    /// `elements × entries-per-element` in advance).
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (possibly duplicated) triplets pushed so far.
+    pub fn triplet_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Add `value` at `(row, col)`. Duplicates accumulate on compression.
+    ///
+    /// # Errors
+    /// [`SparseError::IndexOutOfBounds`] if the coordinates exceed the shape.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        if row >= self.rows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: row,
+                bound: self.rows,
+                axis: "row",
+            });
+        }
+        if col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: col,
+                bound: self.cols,
+                axis: "col",
+            });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Add a symmetric pair: `value` at `(i, j)` and at `(j, i)`.
+    /// Diagonal entries (`i == j`) are added once.
+    ///
+    /// # Errors
+    /// Same as [`CooMatrix::push`].
+    pub fn push_sym(&mut self, i: usize, j: usize, value: f64) -> Result<(), SparseError> {
+        self.push(i, j, value)?;
+        if i != j {
+            self.push(j, i, value)?;
+        }
+        Ok(())
+    }
+
+    /// Compress into CSR: triplets are sorted by `(row, col)`, duplicates
+    /// summed, and entries whose accumulated magnitude is exactly zero are
+    /// kept (FEM cancellation keeping the symbolic stencil is intentional —
+    /// the multicolor solver relies on the structural pattern).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut triplets = self.entries.clone();
+        triplets.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(triplets.len());
+
+        let mut iter = triplets.into_iter().peekable();
+        while let Some((r, c, v)) = iter.next() {
+            let mut acc = v;
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    acc += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            col_idx.push(c);
+            values.push(acc);
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix::from_raw_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("COO compression produced valid CSR")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut a = CooMatrix::new(2, 3);
+        assert!(matches!(
+            a.push(2, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { axis: "row", .. })
+        ));
+        assert!(matches!(
+            a.push(0, 3, 1.0),
+            Err(SparseError::IndexOutOfBounds { axis: "col", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut a = CooMatrix::new(2, 2);
+        a.push(0, 0, 1.0).unwrap();
+        a.push(0, 0, 2.5).unwrap();
+        a.push(1, 0, -1.0).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 0), 3.5);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn push_sym_adds_mirror_entry_once_for_diagonal() {
+        let mut a = CooMatrix::new(3, 3);
+        a.push_sym(0, 1, 2.0).unwrap();
+        a.push_sym(2, 2, 5.0).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 1), 2.0);
+        assert_eq!(csr.get(1, 0), 2.0);
+        assert_eq!(csr.get(2, 2), 5.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_compresses() {
+        let a = CooMatrix::new(4, 4);
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.rows(), 4);
+        let y = csr.mul_vec(&[1.0; 4]);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn columns_sorted_after_compression() {
+        let mut a = CooMatrix::new(1, 5);
+        for &c in &[4usize, 1, 3, 0, 2] {
+            a.push(0, c, c as f64).unwrap();
+        }
+        let csr = a.to_csr();
+        let cols: Vec<usize> = csr.row_entries(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let a = CooMatrix::with_capacity(2, 2, 64);
+        assert_eq!(a.triplet_count(), 0);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 2);
+    }
+}

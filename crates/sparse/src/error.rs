@@ -1,0 +1,153 @@
+//! Error types shared by the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and factorization routines.
+///
+/// The variants are deliberately specific: the 1983 algorithms have hard
+/// structural preconditions (square, symmetric, positive definite, nonzero
+/// diagonal) and the library reports *which* one failed rather than panicking
+/// deep inside a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A triplet or index referenced a row/column outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of valid indices on that axis.
+        bound: usize,
+        /// Axis name, `"row"` or `"col"`.
+        axis: &'static str,
+    },
+    /// Operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// Operation requires a symmetric matrix; first asymmetric pair found.
+    NotSymmetric {
+        /// Row of the asymmetric entry.
+        row: usize,
+        /// Column of the asymmetric entry.
+        col: usize,
+    },
+    /// Cholesky (or a diagonal solve) met a nonpositive/zero pivot, so the
+    /// matrix is not positive definite (or has a zero diagonal entry).
+    NotPositiveDefinite {
+        /// Pivot index where the factorization broke down.
+        pivot: usize,
+        /// Value of the offending pivot.
+        value: f64,
+    },
+    /// A zero (or numerically negligible) diagonal entry where one is needed.
+    ZeroDiagonal {
+        /// Row with the missing/zero diagonal.
+        row: usize,
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation {
+        /// Length of the permutation.
+        len: usize,
+        /// First index observed twice (or out of range).
+        culprit: usize,
+    },
+    /// An iterative process exhausted its iteration budget.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual measure when the budget ran out.
+        residual: f64,
+    },
+    /// A partition did not cover `0..n` with contiguous, disjoint ranges.
+    InvalidPartition {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds ({bound})")
+            }
+            SparseError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            SparseError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::NotSymmetric { row, col } => {
+                write!(f, "matrix not symmetric at ({row}, {col})")
+            }
+            SparseError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "not positive definite: pivot {pivot} = {value:e}")
+            }
+            SparseError::ZeroDiagonal { row } => {
+                write!(f, "zero diagonal entry in row {row}")
+            }
+            SparseError::InvalidPermutation { len, culprit } => {
+                write!(f, "invalid permutation of length {len} (index {culprit})")
+            }
+            SparseError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} steps (residual {residual:e})"
+            ),
+            SparseError::InvalidPartition { reason } => {
+                write!(f, "invalid partition: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            index: 9,
+            bound: 4,
+            axis: "row",
+        };
+        assert!(e.to_string().contains("row index 9"));
+        let e = SparseError::NotPositiveDefinite {
+            pivot: 3,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("pivot 3"));
+        let e = SparseError::InvalidPartition {
+            reason: "gap at 5".into(),
+        };
+        assert!(e.to_string().contains("gap at 5"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SparseError::ZeroDiagonal { row: 1 },
+            SparseError::ZeroDiagonal { row: 1 }
+        );
+        assert_ne!(
+            SparseError::ZeroDiagonal { row: 1 },
+            SparseError::ZeroDiagonal { row: 2 }
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # mspcg-sparse
+//!
+//! Sparse and dense linear-algebra substrate for the *m-step preconditioned
+//! conjugate gradient* workspace (reproduction of Adams, ICPP 1983).
+//!
+//! The 1983 paper assumes a vendor linear-algebra stack (CYBER vector
+//! intrinsics, hand-written FEM kernels). This crate rebuilds the pieces the
+//! method actually needs, from scratch:
+//!
+//! * [`coo::CooMatrix`] — triplet builder used by the FEM assembler,
+//! * [`csr::CsrMatrix`] — compressed sparse row storage with sorted columns,
+//!   SpMV, symmetric permutation, transpose and structural queries,
+//! * [`dia::DiaMatrix`] — storage *by diagonals* and the
+//!   Madsen–Rodrigue–Karush diagonal-wise product the CYBER implementation
+//!   relies on (§3.1 of the paper),
+//! * [`dense::DenseMatrix`] — small dense fallback with Cholesky, LU and a
+//!   cyclic Jacobi symmetric eigensolver (used for validation and for the
+//!   condition-number experiments),
+//! * [`lanczos`] — extreme-eigenvalue estimation for large operators,
+//! * [`vecops`] — the BLAS-1 kernels PCG is made of,
+//! * [`partition`] — contiguous index partitions (the color blocks of the
+//!   multicolor ordering),
+//! * [`permute`] — permutation vectors and their action on vectors/matrices.
+//!
+//! Everything is `f64`; the solvers in `mspcg-core` are deliberately not
+//! generic over the scalar so that the hot kernels stay monomorphic and easy
+//! for LLVM to vectorize.
+
+// Indexed `for i in 0..n` loops are deliberate throughout the numeric
+// kernels: they address several parallel arrays (CSR structure, split
+// points, diagonals) by the same row index, where iterator zips would
+// obscure the math. Clippy's needless_range_loop lint fires on exactly
+// this pattern, so it is allowed crate-wide.
+#![allow(clippy::needless_range_loop)]
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod dia;
+pub mod error;
+pub mod lanczos;
+pub mod partition;
+pub mod permute;
+pub mod vecops;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use dia::DiaMatrix;
+pub use error::SparseError;
+pub use partition::Partition;
+pub use permute::Permutation;

@@ -1,0 +1,255 @@
+//! BLAS-1 style vector kernels.
+//!
+//! The conjugate gradient iteration (Algorithm 1 of the paper) is built
+//! almost entirely from these operations. They are written as plain indexed
+//! loops over equal-length slices, which LLVM auto-vectorizes; the explicit
+//! `assert_eq!` length checks hoist the bounds checks out of the loops.
+//!
+//! The paper's central performance observation — that the two *inner
+//! products* per CG iteration are the expensive part on both vector machines
+//! and processor arrays — is modelled in `mspcg-machine`; here we only
+//! provide the numerically careful reference kernels.
+
+/// Dot product `xᵀy`.
+///
+/// Uses four independent partial accumulators, which both enables
+/// vectorization and reduces the rounding error compared to a single serial
+/// accumulator.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}
+
+/// `y ← y + a·x` (the classic AXPY).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← x + b·y` (scale-and-add used by the CG direction update
+/// `p ← r̂ + β p`).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Copy `src` into `dst`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    dst.copy_from_slice(src);
+}
+
+/// Set every element to zero.
+#[inline]
+pub fn zero(x: &mut [f64]) {
+    x.fill(0.0);
+}
+
+/// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow for very
+/// large components.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    let maxabs = norm_inf(x);
+    if maxabs == 0.0 || !maxabs.is_finite() {
+        return maxabs;
+    }
+    let inv = 1.0 / maxabs;
+    let mut s = 0.0;
+    for &xi in x {
+        let t = xi * inv;
+        s += t * t;
+    }
+    maxabs * s.sqrt()
+}
+
+/// Max norm `‖x‖∞` — the norm the paper's convergence test uses
+/// (`|u^{k+1} − u^k|_∞ < ε`, Algorithm 1 step (3)).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    let mut m = 0.0f64;
+    for &xi in x {
+        let a = xi.abs();
+        if a > m {
+            m = a;
+        }
+    }
+    m
+}
+
+/// `‖x − y‖∞` without forming the difference vector; used by the
+/// displacement-change stopping test.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    let mut m = 0.0f64;
+    for (xi, yi) in x.iter().zip(y) {
+        let a = (xi - yi).abs();
+        if a > m {
+            m = a;
+        }
+    }
+    m
+}
+
+/// Elementwise product `z ← x ⊙ y` (used by diagonal scaling).
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
+    assert_eq!(x.len(), z.len(), "hadamard: output length mismatch");
+    for i in 0..z.len() {
+        z[i] = x[i] * y[i];
+    }
+}
+
+/// `z ← x − y`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    assert_eq!(x.len(), z.len(), "sub: output length mismatch");
+    for i in 0..z.len() {
+        z[i] = x[i] - y[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..37).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let y: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_handles_short_vectors() {
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn xpby_is_direction_update() {
+        let r = [1.0, 1.0];
+        let mut p = [4.0, 8.0];
+        xpby(&r, 0.5, &mut p);
+        assert_eq!(p, [3.0, 5.0]);
+    }
+
+    #[test]
+    fn norms_agree_on_simple_vector() {
+        let x = [3.0, -4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn norm2_resists_overflow() {
+        let big = 1e200;
+        let x = [big, big];
+        assert!((norm2(&x) - big * std::f64::consts::SQRT_2).abs() / norm2(&x) < 1e-14);
+    }
+
+    #[test]
+    fn norm2_zero_vector() {
+        assert_eq!(norm2(&[0.0; 8]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_matches_sub_norm() {
+        let x = [1.0, -2.0, 5.0];
+        let y = [0.5, 2.0, 5.5];
+        let mut z = [0.0; 3];
+        sub(&x, &y, &mut z);
+        assert_eq!(max_abs_diff(&x, &y), norm_inf(&z));
+        assert_eq!(max_abs_diff(&x, &y), 4.0);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut x = [1.0, 2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, [3.0, 6.0]);
+        zero(&mut x);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 0.5, -1.0];
+        let mut z = [0.0; 3];
+        hadamard(&x, &y, &mut z);
+        assert_eq!(z, [2.0, 1.0, -3.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's closing "future work" item, implemented: *"A problem still
+//! remains in applying the method to irregular regions since the grid must
+//! be colored."* We solve a Poisson problem on an **L-shaped** domain,
+//! color its graph with the greedy multicoloring of `mspcg-coloring`, and
+//! run the m-step SSOR PCG on the resulting ordering.
+//!
+//! ```sh
+//! cargo run --release --example irregular_region [n]
+//! ```
+
+use mspcg::coloring::{greedy_coloring, GreedyStrategy};
+use mspcg::core::mstep::MStepSsorPreconditioner;
+use mspcg::core::pcg::{cg_solve, pcg_solve, PcgOptions};
+use mspcg::sparse::CooMatrix;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24usize);
+
+    // L-shaped domain: the full n×n square minus its upper-right quadrant.
+    let inside = |i: usize, j: usize| -> bool { i < n / 2 || j < n / 2 };
+    let mut index = vec![usize::MAX; n * n];
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if inside(i, j) {
+                index[i * n + j] = count;
+                count += 1;
+            }
+        }
+    }
+    println!("L-shaped Poisson domain: {count} interior unknowns (of {})", n * n);
+
+    // 5-point Laplacian restricted to the L.
+    let mut coo = CooMatrix::new(count, count);
+    for i in 0..n {
+        for j in 0..n {
+            if !inside(i, j) {
+                continue;
+            }
+            let me = index[i * n + j];
+            coo.push(me, me, 4.0).expect("push");
+            let mut link = |ii: isize, jj: isize| {
+                if ii >= 0 && jj >= 0 && (ii as usize) < n && (jj as usize) < n {
+                    let (ii, jj) = (ii as usize, jj as usize);
+                    if inside(ii, jj) {
+                        coo.push(me, index[ii * n + jj], -1.0).expect("push");
+                    }
+                }
+            };
+            link(i as isize - 1, j as isize);
+            link(i as isize + 1, j as isize);
+            link(i as isize, j as isize - 1);
+            link(i as isize, j as isize + 1);
+        }
+    }
+    let matrix = coo.to_csr();
+
+    // Greedy multicoloring — the machinery the paper says was missing.
+    for strategy in [
+        GreedyStrategy::Natural,
+        GreedyStrategy::LargestDegreeFirst,
+        GreedyStrategy::SmallestDegreeLast,
+    ] {
+        let coloring = greedy_coloring(&matrix, strategy).expect("coloring");
+        println!("greedy {strategy:?}: {} colors", coloring.num_colors());
+    }
+    let coloring = greedy_coloring(&matrix, GreedyStrategy::Natural).expect("coloring");
+    coloring.verify_for(&matrix).expect("coloring must decouple");
+    let ordering = coloring.ordering();
+    let blocked = ordering.permute_matrix(&matrix).expect("permute");
+
+    // Manufactured right-hand side and the m sweep.
+    let rhs_nat: Vec<f64> = (0..count).map(|k| ((k % 7) as f64) - 3.0).collect();
+    let rhs = ordering.permutation.gather(&rhs_nat);
+    let opts = PcgOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
+    println!("\n  m     iterations");
+    let cg = cg_solve(&blocked, &rhs, &opts).expect("CG");
+    println!("  0     {:6}", cg.iterations);
+    for m in [1usize, 2, 3, 4] {
+        let pre = if m >= 2 {
+            MStepSsorPreconditioner::parametrized(&blocked, &ordering.partition, m)
+                .expect("preconditioner")
+        } else {
+            MStepSsorPreconditioner::unparametrized(&blocked, &ordering.partition, m)
+                .expect("preconditioner")
+        };
+        let sol = pcg_solve(&blocked, &rhs, &pre, &opts).expect("PCG");
+        println!(
+            "  {m}{}    {:6}",
+            if m >= 2 { "P" } else { " " },
+            sol.iterations
+        );
+    }
+
+    // Validate against a dense direct solve.
+    let pre = MStepSsorPreconditioner::parametrized(&blocked, &ordering.partition, 2)
+        .expect("preconditioner");
+    let sol = pcg_solve(&blocked, &rhs, &pre, &opts).expect("PCG");
+    if count <= 700 {
+        let exact = blocked.to_dense().cholesky().unwrap().solve(&rhs);
+        let err = sol
+            .x
+            .iter()
+            .zip(&exact)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max);
+        println!("\nmax |PCG - direct| = {err:.2e}");
+        assert!(err < 1e-5, "solver disagreement on the L-domain");
+    }
+    println!("the multicolor m-step method runs unchanged on the irregular region.");
+}

@@ -1,0 +1,115 @@
+//! The paper's structural-engineering workload, end to end: a cantilevered
+//! plate under edge shear, solved with the full m sweep, with a
+//! displacement-field report and a direct-solve cross-check.
+//!
+//! ```sh
+//! cargo run --release --example plane_stress [a]
+//! ```
+
+use mspcg::core::mstep::MStepSsorPreconditioner;
+use mspcg::core::pcg::{cg_solve, pcg_solve, PcgOptions, StoppingCriterion};
+use mspcg::fem::element::Material;
+use mspcg::fem::plate::{EdgeLoad, PlaneStressProblem};
+
+fn main() {
+    let a = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24usize);
+
+    // A steel-like cantilever loaded in shear at the free edge: the
+    // "loaded on one edge and constrained on another" configuration of §3.
+    let problem = PlaneStressProblem {
+        load: EdgeLoad::TractionY(-1e3), // downward shear, 1 kN total
+        material: Material {
+            youngs: 200e9,
+            poisson: 0.3,
+            thickness: 0.01,
+        },
+        ..PlaneStressProblem::unit_square(a)
+    };
+    let asm = problem.assemble().expect("assembly");
+    let ord = asm.multicolor().expect("ordering");
+    println!(
+        "cantilever plate: {}x{} nodes, {} unknowns",
+        a,
+        a,
+        asm.num_unknowns()
+    );
+
+    // m sweep, Table-2 style, on this stiffer (badly scaled) system.
+    // With E = 200 GPa the displacements are ~1e-6 m, so the paper's
+    // absolute displacement-change test needs problem-specific tuning; the
+    // scale-free relative-residual criterion is the robust choice here.
+    let opts = PcgOptions {
+        tol: 1e-10,
+        criterion: StoppingCriterion::RelativeResidual,
+        ..Default::default()
+    };
+    println!("\n  m      iterations");
+    let cg = cg_solve(&ord.matrix, &ord.rhs, &opts).expect("CG");
+    println!("  0      {:6}", cg.iterations);
+    let mut best = (0usize, false, cg.iterations);
+    for m in 1..=6usize {
+        let un = MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m)
+            .expect("preconditioner");
+        let su = pcg_solve(&ord.matrix, &ord.rhs, &un, &opts).expect("PCG");
+        let mut line = format!("  {m}      {:6}", su.iterations);
+        if m >= 2 {
+            let pa = MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, m)
+                .expect("preconditioner");
+            let sp = pcg_solve(&ord.matrix, &ord.rhs, &pa, &opts).expect("PCG");
+            line.push_str(&format!("    {m}P {:6}", sp.iterations));
+            if sp.stats.precond_steps < best.2 * best.0.max(1) {
+                // keep simple: track min iterations among parametrized
+            }
+            if sp.iterations < best.2 {
+                best = (m, true, sp.iterations);
+            }
+        }
+        if su.iterations < best.2 {
+            best = (m, false, su.iterations);
+        }
+        println!("{line}");
+    }
+    println!(
+        "\nbest configuration: m = {}{} at {} iterations",
+        best.0,
+        if best.1 { "P" } else { "" },
+        best.2
+    );
+
+    // Displacement field: the cantilever tip deflection, compared with the
+    // Euler–Bernoulli beam estimate δ = PL³/(3EI) as a physical sanity
+    // check (the plate is shear-flexible, so expect the same magnitude,
+    // not equality).
+    let pre = MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, best.0.max(2))
+        .expect("preconditioner");
+    let sol = pcg_solve(&ord.matrix, &ord.rhs, &pre, &opts).expect("PCG");
+    let full = asm.free_map.expand(&ord.to_nodal(&sol.x));
+    let mesh = asm.mesh;
+    let tip = mesh.node_index(mesh.rows / 2, mesh.cols - 1);
+    let v_tip = full[2 * tip + 1];
+    let (e, t, l, p) = (200e9, 0.01, 1.0, -1e3);
+    let i_beam = t * l * l * l / 12.0;
+    let beam = p * l * l * l / (3.0 * e * i_beam);
+    println!("tip deflection  (FEM) : {v_tip:+.4e} m");
+    println!("beam-theory estimate  : {beam:+.4e} m");
+    assert!(
+        (v_tip / beam) > 0.5 && (v_tip / beam) < 2.0,
+        "FEM and beam theory disagree by more than 2x"
+    );
+
+    // Cross-check against a dense direct solve on a small version.
+    if a <= 12 {
+        let exact = ord.matrix.to_dense().cholesky().unwrap().solve(&ord.rhs);
+        let err = sol
+            .x
+            .iter()
+            .zip(&exact)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max);
+        println!("max |PCG - direct| = {err:.2e}");
+    }
+    println!("done.");
+}

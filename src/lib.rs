@@ -1,0 +1,38 @@
+//! # mspcg — m-step preconditioned conjugate gradient for parallel computation
+//!
+//! Facade crate for the reproduction of **L. Adams, “An M-Step
+//! Preconditioned Conjugate Gradient Method for Parallel Computation”,
+//! ICPP 1983 / NASA CR-172150**. It re-exports the workspace crates so an
+//! application needs a single dependency:
+//!
+//! * [`sparse`] — sparse/dense linear algebra substrate,
+//! * [`coloring`] — multicolor orderings (Adams–Ortega),
+//! * [`fem`] — plane-stress finite-element model problems,
+//! * [`core`] — PCG, splittings and the m-step parametrized preconditioners,
+//! * [`machine`] — CYBER 203/205 and Finite Element Machine simulators,
+//! * [`parallel`] — real threaded executor for the multicolor method.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mspcg::fem::plate::PlaneStressProblem;
+//! use mspcg::core::mstep::MStepSsorPreconditioner;
+//! use mspcg::core::pcg::{pcg_solve, PcgOptions};
+//!
+//! // The paper's test problem: a unit-square plate, clamped on the left
+//! // edge, loaded on the right, discretized with linear triangles.
+//! let problem = PlaneStressProblem::unit_square(8).assemble().unwrap();
+//! let ordered = problem.multicolor().unwrap();
+//!
+//! // 3-step parametrized SSOR preconditioner (least-squares coefficients).
+//! let pre = MStepSsorPreconditioner::parametrized(&ordered.matrix, &ordered.colors, 3).unwrap();
+//! let sol = pcg_solve(&ordered.matrix, &ordered.rhs, &pre, &PcgOptions::default()).unwrap();
+//! assert!(sol.converged);
+//! ```
+
+pub use mspcg_coloring as coloring;
+pub use mspcg_core as core;
+pub use mspcg_fem as fem;
+pub use mspcg_machine as machine;
+pub use mspcg_parallel as parallel;
+pub use mspcg_sparse as sparse;

@@ -1,0 +1,150 @@
+//! Machine-simulator integration: both 1983 machines must reproduce the
+//! paper's qualitative results end to end (quick problem sizes).
+
+use mspcg::fem::plate::PlaneStressProblem;
+use mspcg::machine::array::run_fem_machine;
+use mspcg::machine::vector::{run_cyber_pcg, CoefficientChoice};
+use mspcg::machine::{ArrayMachineParams, ProcessorAssignment, VectorMachineParams};
+
+#[test]
+fn cyber_times_are_u_shaped_in_m() {
+    // Time drops from m = 0, bottoms out, and the minimizing m > 0.
+    let asm = PlaneStressProblem::unit_square(14).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let params = VectorMachineParams::default();
+    let mut times = Vec::new();
+    for m in 0..=6usize {
+        let choice = if m >= 2 {
+            CoefficientChoice::Parametrized
+        } else {
+            CoefficientChoice::Unparametrized
+        };
+        let rep = run_cyber_pcg(&asm, &ord, m, choice, &params, 1e-6).unwrap();
+        times.push(rep.seconds);
+    }
+    let best = times
+        .iter()
+        .enumerate()
+        .min_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+        .unwrap()
+        .0;
+    assert!(best >= 1, "preconditioning should beat plain CG: {times:?}");
+    assert!(times[best] < times[0] * 0.8, "improvement too small: {times:?}");
+}
+
+#[test]
+fn cyber_dot_products_cost_more_than_updates() {
+    // The paper's central premise: inner products are the expensive part.
+    let asm = PlaneStressProblem::unit_square(12).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let rep = run_cyber_pcg(
+        &asm,
+        &ord,
+        0,
+        CoefficientChoice::Unparametrized,
+        &VectorMachineParams::default(),
+        1e-6,
+    )
+    .unwrap();
+    assert!(rep.breakdown.dots > rep.breakdown.updates);
+}
+
+#[test]
+fn fem_machine_reproduces_table3_speedup_bands() {
+    let asm = PlaneStressProblem::unit_square(6).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let params = ArrayMachineParams::default();
+    let run = |m: usize, p: usize| {
+        let choice = if m >= 2 {
+            CoefficientChoice::Parametrized
+        } else {
+            CoefficientChoice::Unparametrized
+        };
+        run_fem_machine(&asm, &ord, m, choice, p, &params, 1e-6).unwrap()
+    };
+    for m in [0usize, 2, 4] {
+        let t1 = run(m, 1).seconds;
+        let t2 = run(m, 2).seconds;
+        let t5 = run(m, 5).seconds;
+        let s2 = t1 / t2;
+        let s5 = t1 / t5;
+        assert!((1.5..2.0).contains(&s2), "m = {m}: s2 = {s2}");
+        assert!((2.4..4.5).contains(&s5), "m = {m}: s5 = {s5}");
+    }
+}
+
+#[test]
+fn fem_machine_iterations_equal_cyber_iterations() {
+    // Same algorithm, same problem, same tolerance ⇒ identical counts:
+    // the simulators share the numerical core.
+    let asm = PlaneStressProblem::unit_square(8).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    for m in [0usize, 1, 3] {
+        let c = run_cyber_pcg(
+            &asm,
+            &ord,
+            m,
+            CoefficientChoice::Unparametrized,
+            &VectorMachineParams::default(),
+            1e-6,
+        )
+        .unwrap();
+        let f = run_fem_machine(
+            &asm,
+            &ord,
+            m,
+            CoefficientChoice::Unparametrized,
+            2,
+            &ArrayMachineParams::default(),
+            1e-6,
+        )
+        .unwrap();
+        assert_eq!(c.iterations, f.iterations, "m = {m}");
+    }
+}
+
+#[test]
+fn sum_circuit_reduces_cg_overhead() {
+    // The paper motivates the sum/max hardware circuit by the cost of the
+    // software global sums. Flip the switch and check the direction.
+    let asm = PlaneStressProblem::unit_square(6).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let soft = ArrayMachineParams::default();
+    let hard = ArrayMachineParams {
+        sum_circuit: true,
+        ..Default::default()
+    };
+    let rs = run_fem_machine(
+        &asm,
+        &ord,
+        0,
+        CoefficientChoice::Unparametrized,
+        5,
+        &soft,
+        1e-6,
+    )
+    .unwrap();
+    let rh = run_fem_machine(
+        &asm,
+        &ord,
+        0,
+        CoefficientChoice::Unparametrized,
+        5,
+        &hard,
+        1e-6,
+    )
+    .unwrap();
+    assert!(rh.breakdown.reductions < rs.breakdown.reductions);
+    assert!(rh.seconds < rs.seconds);
+}
+
+#[test]
+fn assignments_scale_to_many_processors() {
+    let asm = PlaneStressProblem::unit_square(12).assemble().unwrap();
+    for p in [1usize, 2, 3, 4, 6, 11, 22, 33] {
+        let assign = ProcessorAssignment::strips(&asm, p).unwrap();
+        let total: usize = (0..p).map(|q| assign.nodes_of(q).len()).sum();
+        assert_eq!(total, 12 * 11);
+        assert!(assign.max_links_used() <= 8);
+    }
+}

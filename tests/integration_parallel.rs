@@ -1,0 +1,130 @@
+//! Threaded-solver integration: the SPMD executor must agree with the
+//! sequential reference on the paper's plate problem, for every thread
+//! count, deterministically.
+
+use mspcg::core::mstep::MStepSsorPreconditioner;
+use mspcg::core::pcg::{pcg_solve, PcgOptions};
+use mspcg::fem::plate::PlaneStressProblem;
+use mspcg::parallel::{ParallelMStepPcg, ParallelSolverOptions};
+
+#[test]
+fn threaded_matches_sequential_across_thread_counts() {
+    let asm = PlaneStressProblem::unit_square(10).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let m = 2usize;
+
+    let pre = MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m).unwrap();
+    let seq = pcg_solve(
+        &ord.matrix,
+        &ord.rhs,
+        &pre,
+        &PcgOptions {
+            tol: 1e-9,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let par = ParallelMStepPcg::new(&ord.matrix, &ord.colors, vec![1.0; m]).unwrap();
+    for threads in [1usize, 2, 3, 5, 8] {
+        let rep = par
+            .solve(
+                &ord.rhs,
+                &ParallelSolverOptions {
+                    threads,
+                    tol: 1e-9,
+                    max_iterations: 50_000,
+                },
+            )
+            .unwrap();
+        assert!(rep.converged, "threads = {threads}");
+        assert!(
+            (rep.iterations as isize - seq.iterations as isize).abs() <= 2,
+            "threads = {threads}: {} vs {}",
+            rep.iterations,
+            seq.iterations
+        );
+        for (u, v) in rep.x.iter().zip(&seq.x) {
+            assert!((u - v).abs() < 1e-7, "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn parametrized_coefficients_work_threaded() {
+    let asm = PlaneStressProblem::unit_square(8).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let pre = MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, 3).unwrap();
+    let alphas = pre.alphas().to_vec();
+
+    let par = ParallelMStepPcg::new(&ord.matrix, &ord.colors, alphas).unwrap();
+    let rep = par
+        .solve(
+            &ord.rhs,
+            &ParallelSolverOptions {
+                threads: 4,
+                tol: 1e-9,
+                max_iterations: 50_000,
+            },
+        )
+        .unwrap();
+    let seq = pcg_solve(
+        &ord.matrix,
+        &ord.rhs,
+        &pre,
+        &PcgOptions {
+            tol: 1e-9,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        (rep.iterations as isize - seq.iterations as isize).abs() <= 2,
+        "{} vs {}",
+        rep.iterations,
+        seq.iterations
+    );
+}
+
+#[test]
+fn threaded_cg_mode_matches_sequential_cg() {
+    let asm = PlaneStressProblem::unit_square(8).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let par = ParallelMStepPcg::new(&ord.matrix, &ord.colors, vec![]).unwrap();
+    let rep = par
+        .solve(
+            &ord.rhs,
+            &ParallelSolverOptions {
+                threads: 3,
+                tol: 1e-8,
+                max_iterations: 50_000,
+            },
+        )
+        .unwrap();
+    let seq = mspcg::core::pcg::cg_solve(
+        &ord.matrix,
+        &ord.rhs,
+        &PcgOptions {
+            tol: 1e-8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((rep.iterations as isize - seq.iterations as isize).abs() <= 2);
+}
+
+#[test]
+fn repeated_threaded_solves_are_bitwise_identical() {
+    let asm = PlaneStressProblem::unit_square(9).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let par = ParallelMStepPcg::new(&ord.matrix, &ord.colors, vec![1.0; 2]).unwrap();
+    let opts = ParallelSolverOptions {
+        threads: 4,
+        tol: 1e-8,
+        max_iterations: 50_000,
+    };
+    let a = par.solve(&ord.rhs, &opts).unwrap();
+    let b = par.solve(&ord.rhs, &opts).unwrap();
+    assert_eq!(a.x, b.x);
+    assert_eq!(a.iterations, b.iterations);
+}
