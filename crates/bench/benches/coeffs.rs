@@ -3,25 +3,24 @@
 //! expansion as m grows. Both must stay microseconds-cheap — the
 //! parametrization is a setup cost, amortized over the whole solve.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspcg_bench::timing::{bench, finish};
 use mspcg_core::{least_squares_alphas, minimax_alphas, Weight};
 use std::hint::black_box;
 
-fn bench_fits(c: &mut Criterion) {
+fn main() {
     let interval = (0.01, 1.0);
-    let mut group = c.benchmark_group("coefficient_fits");
+    let mut results = Vec::new();
     for m in [2usize, 4, 8, 12] {
-        group.bench_with_input(BenchmarkId::new("least_squares", m), &m, |b, &m| {
-            b.iter(|| {
-                black_box(least_squares_alphas(m, black_box(interval), Weight::Uniform).unwrap())
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("minimax", m), &m, |b, &m| {
-            b.iter(|| black_box(minimax_alphas(m, black_box(interval)).unwrap()))
-        });
+        results.push(bench(
+            "coefficient_fits",
+            &format!("least_squares_m{m}"),
+            || {
+                black_box(least_squares_alphas(m, black_box(interval), Weight::Uniform).unwrap());
+            },
+        ));
+        results.push(bench("coefficient_fits", &format!("minimax_m{m}"), || {
+            black_box(minimax_alphas(m, black_box(interval)).unwrap());
+        }));
     }
-    group.finish();
+    finish(&results);
 }
-
-criterion_group!(benches, bench_fits);
-criterion_main!(benches);

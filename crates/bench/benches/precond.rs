@@ -1,56 +1,99 @@
 //! Preconditioner bench: (a) m-step solve cost must scale linearly in m
 //! (the `m·B` term of Eq. (4.1)); (b) the Conrad–Wallach cached sweep vs
 //! the naive two-pass step — the paper's "one SSOR step costs one SOR
-//! sweep" claim, as a measured ablation.
+//! sweep" claim, as a measured ablation; (c) serial vs pool-parallel
+//! m-step `msolve` on the 512×512 red/black Poisson problem — the
+//! per-color parallel sweep speedup.
+//!
+//! Record results: `cargo bench -p mspcg-bench --bench precond -- --json
+//! BENCH_pr1.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mspcg_bench::experiments::ordered_plate;
+use mspcg_bench::experiments::{ordered_plate, ordered_poisson};
+use mspcg_bench::timing::{bench, finish, BenchResult};
 use mspcg_core::splitting::Splitting;
 use mspcg_core::ssor::MulticolorSsor;
+use mspcg_sparse::par;
 use std::hint::black_box;
 
-fn bench_msolve_scaling(c: &mut Criterion) {
+fn bench_msolve_scaling(results: &mut Vec<BenchResult>) {
     let (_, ord) = ordered_plate(40).expect("plate");
     let n = ord.matrix.rows();
-    let ssor = MulticolorSsor::new(&ord.matrix, &ord.colors, 1.0).expect("splitting");
+    let ssor = MulticolorSsor::new(ord.matrix.clone(), ord.colors.clone(), 1.0).expect("splitting");
     let r: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
     let mut z = vec![0.0; n];
 
-    let mut group = c.benchmark_group("msolve_vs_m");
-    group.sample_size(30);
     for m in [1usize, 2, 4, 8] {
         let alphas = vec![1.0; m];
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z)))
-        });
+        results.push(bench("msolve_vs_m", &format!("m{m}"), || {
+            ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z));
+        }));
     }
-    group.finish();
 }
 
-fn bench_conrad_wallach(c: &mut Criterion) {
+fn bench_conrad_wallach(results: &mut Vec<BenchResult>) {
     let (_, ord) = ordered_plate(40).expect("plate");
     let n = ord.matrix.rows();
-    let ssor = MulticolorSsor::new(&ord.matrix, &ord.colors, 1.0).expect("splitting");
+    let ssor = MulticolorSsor::new(ord.matrix.clone(), ord.colors.clone(), 1.0).expect("splitting");
     let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.03).cos()).collect();
     let mut z = vec![0.0; n];
     let m = 4usize;
     let alphas = vec![1.0; m];
 
-    let mut group = c.benchmark_group("conrad_wallach_ablation");
-    group.sample_size(30);
-    group.bench_function("cached_msolve", |b| {
-        b.iter(|| ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z)))
-    });
-    group.bench_function("naive_two_pass_steps", |b| {
-        b.iter(|| {
+    results.push(bench("conrad_wallach_ablation", "cached_msolve", || {
+        ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z));
+    }));
+    results.push(bench(
+        "conrad_wallach_ablation",
+        "naive_two_pass_steps",
+        || {
             z.fill(0.0);
             for s in 1..=m {
                 ssor.step(alphas[m - s], black_box(&r), black_box(&mut z));
             }
-        })
-    });
-    group.finish();
+        },
+    ));
 }
 
-criterion_group!(benches, bench_msolve_scaling, bench_conrad_wallach);
-criterion_main!(benches);
+fn bench_serial_vs_parallel_msolve(results: &mut Vec<BenchResult>) {
+    let (matrix, colors, _) = ordered_poisson(512).expect("poisson 512");
+    let n = matrix.rows();
+    let ssor = MulticolorSsor::new(matrix, colors, 1.0).expect("splitting");
+    let r: Vec<f64> = (0..n)
+        .map(|i| ((i * 13 + 5) % 89) as f64 * 0.02 - 0.9)
+        .collect();
+    let mut z = vec![0.0; n];
+
+    let hw = par::max_threads();
+    for m in [2usize, 4] {
+        let alphas = vec![1.0; m];
+        par::set_max_threads(1);
+        let serial = bench("msolve_poisson512", &format!("m{m}_serial"), || {
+            ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z));
+        });
+        let serial_mean = serial.mean_ns;
+        results.push(serial);
+        for t in [2usize, 4, 8] {
+            if t > par::pool_capacity() {
+                break;
+            }
+            par::set_max_threads(t);
+            let rp = bench("msolve_poisson512", &format!("m{m}_par{t}"), || {
+                ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z));
+            });
+            println!(
+                "    speedup vs serial at {t} threads: {:.2}x",
+                serial_mean / rp.mean_ns
+            );
+            results.push(rp);
+        }
+    }
+    par::set_max_threads(hw);
+}
+
+fn main() {
+    let mut results = Vec::new();
+    bench_msolve_scaling(&mut results);
+    bench_conrad_wallach(&mut results);
+    bench_serial_vs_parallel_msolve(&mut results);
+    finish(&results);
+}

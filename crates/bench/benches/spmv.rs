@@ -1,17 +1,18 @@
-//! Kernel bench: CSR row-wise SpMV vs DIA multiplication-by-diagonals on
-//! the color-blocked plate matrix — the §3.1 storage decision, measured on
-//! modern hardware. (On the CYBER the diagonal scheme won because of
-//! vector startup; on a cache machine CSR usually wins — the bench makes
-//! the trade-off visible.)
+//! Kernel bench: (a) CSR row-wise SpMV vs DIA multiplication-by-diagonals
+//! on the color-blocked plate matrix — the §3.1 storage decision, measured
+//! on modern hardware; (b) serial vs pool-parallel CSR SpMV on a 512×512
+//! red/black Poisson problem (262 144 unknowns, ~1.3 M stored entries) —
+//! the data-parallel kernel layer's headline speedup.
+//!
+//! Record results: `cargo bench -p mspcg-bench --bench spmv -- --json
+//! BENCH_pr1.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mspcg_bench::experiments::ordered_plate;
-use mspcg_sparse::DiaMatrix;
+use mspcg_bench::experiments::{ordered_plate, ordered_poisson};
+use mspcg_bench::timing::{bench, finish, BenchResult};
+use mspcg_sparse::{par, DiaMatrix};
 use std::hint::black_box;
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmv");
-    group.sample_size(30);
+fn bench_csr_vs_dia(results: &mut Vec<BenchResult>) {
     for a in [20usize, 40, 60] {
         let (_, ord) = ordered_plate(a).expect("plate");
         let n = ord.matrix.rows();
@@ -19,19 +20,61 @@ fn bench_spmv(c: &mut Criterion) {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
         let mut y = vec![0.0; n];
 
-        group.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
-            b.iter(|| {
-                ord.matrix.mul_vec_into(black_box(&x), black_box(&mut y));
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("dia", n), &n, |b, _| {
-            b.iter(|| {
-                dia.mul_vec_into(black_box(&x), black_box(&mut y));
-            })
-        });
+        results.push(bench("spmv_plate", &format!("csr_n{n}"), || {
+            ord.matrix.mul_vec_into(black_box(&x), black_box(&mut y));
+        }));
+        results.push(bench("spmv_plate", &format!("dia_n{n}"), || {
+            dia.mul_vec_into(black_box(&x), black_box(&mut y));
+        }));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_spmv);
-criterion_main!(benches);
+fn bench_serial_vs_parallel(results: &mut Vec<BenchResult>) {
+    let (matrix, _, _) = ordered_poisson(512).expect("poisson 512");
+    let n = matrix.rows();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 31 + 7) % 1013) as f64 * 1e-3)
+        .collect();
+    let mut y = vec![0.0; n];
+
+    let hw = par::max_threads();
+    par::set_max_threads(1);
+    let serial = bench("spmv_poisson512", "serial", || {
+        matrix.mul_vec_into(black_box(&x), black_box(&mut y));
+    });
+    let serial_mean = serial.mean_ns;
+    results.push(serial);
+
+    for t in [2usize, 4, 8] {
+        if t > par::pool_capacity() {
+            break;
+        }
+        par::set_max_threads(t);
+        let r = bench("spmv_poisson512", &format!("par{t}"), || {
+            matrix.mul_vec_into(black_box(&x), black_box(&mut y));
+        });
+        println!(
+            "    speedup vs serial at {t} threads: {:.2}x",
+            serial_mean / r.mean_ns
+        );
+        results.push(r);
+    }
+    par::set_max_threads(hw);
+
+    // Fused SpMV-accumulate, both paths, at the full budget.
+    par::set_max_threads(1);
+    results.push(bench("spmv_axpy_poisson512", "serial", || {
+        matrix.mul_vec_axpy(-1.0, black_box(&x), black_box(&mut y));
+    }));
+    par::set_max_threads(hw);
+    results.push(bench("spmv_axpy_poisson512", &format!("par{hw}"), || {
+        matrix.mul_vec_axpy(-1.0, black_box(&x), black_box(&mut y));
+    }));
+}
+
+fn main() {
+    let mut results = Vec::new();
+    bench_csr_vs_dia(&mut results);
+    bench_serial_vs_parallel(&mut results);
+    finish(&results);
+}

@@ -3,11 +3,11 @@
 //! simulated-CYBER seconds are produced by the `table2` binary; this bench
 //! shows the same U-shape (time vs m) on modern hardware.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mspcg_bench::experiments::{iterations_on, ordered_plate};
+use mspcg_bench::timing::{bench, finish};
 use std::hint::black_box;
 
-fn bench_solve_vs_m(c: &mut Criterion) {
+fn main() {
     let (_, ord) = ordered_plate(30).expect("plate");
     let rows: &[(usize, bool)] = &[
         (0, false),
@@ -18,23 +18,16 @@ fn bench_solve_vs_m(c: &mut Criterion) {
         (4, true),
         (6, true),
     ];
-    let mut group = c.benchmark_group("table2_solve_wall_clock");
-    group.sample_size(10);
+    let mut results = Vec::new();
     for &(m, parametrized) in rows {
         let label = if parametrized {
-            format!("{m}P")
+            format!("m{m}P")
         } else {
-            format!("{m}")
+            format!("m{m}")
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &m, |b, &m| {
-            b.iter(|| {
-                let iters = iterations_on(black_box(&ord), m, parametrized, 1e-6).unwrap();
-                black_box(iters)
-            })
-        });
+        results.push(bench("table2_solve_wall_clock", &label, || {
+            black_box(iterations_on(black_box(&ord), m, parametrized, 1e-6).expect("solve"));
+        }));
     }
-    group.finish();
+    finish(&results);
 }
-
-criterion_group!(benches, bench_solve_vs_m);
-criterion_main!(benches);

@@ -3,31 +3,32 @@
 //! the modern analogue of the Finite Element Machine speedup columns.
 //! (The simulated-1983 numbers come from the `table3` binary.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mspcg_bench::experiments::ordered_plate;
+use mspcg_bench::timing::{bench, finish};
 use mspcg_parallel::{ParallelMStepPcg, ParallelSolverOptions};
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn bench_threaded_solver(c: &mut Criterion) {
+fn main() {
     let (_, ord) = ordered_plate(48).expect("plate");
-    let solver = ParallelMStepPcg::new(&ord.matrix, &ord.colors, vec![1.0, 1.0]).expect("solver");
-    let mut group = c.benchmark_group("table3_threaded_speedup");
-    group.sample_size(10);
+    let solver =
+        ParallelMStepPcg::shared(Arc::new(ord.matrix), Arc::new(ord.colors), vec![1.0, 1.0])
+            .expect("solver");
+    let mut results = Vec::new();
     for threads in [1usize, 2, 4] {
         let opts = ParallelSolverOptions {
             threads,
             tol: 1e-6,
             max_iterations: 50_000,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| {
+        results.push(bench(
+            "table3_threaded_speedup",
+            &format!("t{threads}"),
+            || {
                 let rep = solver.solve(black_box(&ord.rhs), &opts).unwrap();
-                black_box(rep.iterations)
-            })
-        });
+                black_box(rep.iterations);
+            },
+        ));
     }
-    group.finish();
+    finish(&results);
 }
-
-criterion_group!(benches, bench_threaded_solver);
-criterion_main!(benches);

@@ -26,7 +26,9 @@ fn main() {
     let mut t = TextTable::new(vec!["m", "unparametrized", "least squares", "min-max"]);
     for m in 1..=8usize {
         let un = MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m).unwrap();
-        let iu = pcg_solve(&ord.matrix, &ord.rhs, &un, &opts).unwrap().iterations;
+        let iu = pcg_solve(&ord.matrix, &ord.rhs, &un, &opts)
+            .unwrap()
+            .iterations;
         let (ils, imm) = if m >= 2 {
             let ls = MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, m).unwrap();
             let mm =

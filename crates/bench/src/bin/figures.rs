@@ -18,7 +18,9 @@ fn main() {
 
     // Figures 3a/3b: larger plate split among processors (18 and 9 nodes
     // per processor in the paper's illustration).
-    let asm12 = PlaneStressProblem::unit_square(13).assemble().expect("plate");
+    let asm12 = PlaneStressProblem::unit_square(13)
+        .assemble()
+        .expect("plate");
     for (p, fig) in [(8usize, "3a"), (16usize, "3b")] {
         let assign = ProcessorAssignment::strips(&asm12, p).expect("assignment");
         let per = 13 * 12 / p;
@@ -29,7 +31,9 @@ fn main() {
     // Figure 4: links used by a processor — with the 2-D block assignment
     // an interior processor talks over exactly six of the eight links
     // (N, S, E, W plus the two anti-diagonal triangulation neighbours).
-    let asm16 = PlaneStressProblem::unit_square(16).assemble().expect("plate");
+    let asm16 = PlaneStressProblem::unit_square(16)
+        .assemble()
+        .expect("plate");
     let blocks = ProcessorAssignment::blocks(&asm16, 3, 3).expect("assignment");
     println!("Figure 4. FEM local links (3x3 block assignment on a 16x16 plate)\n");
     println!("{}", blocks.render());
@@ -46,7 +50,9 @@ fn main() {
         blocks.max_links_used()
     );
 
-    let asm = PlaneStressProblem::unit_square(6).assemble().expect("plate");
+    let asm = PlaneStressProblem::unit_square(6)
+        .assemble()
+        .expect("plate");
 
     // Figure 5: the paper's 2- and 5-processor assignments of the 6x6 plate.
     for p in [2usize, 5] {
@@ -59,7 +65,11 @@ fn main() {
         }
         println!(
             "  colors balanced: {}\n",
-            if assign.colors_balanced() { "yes" } else { "no" }
+            if assign.colors_balanced() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 }

@@ -75,9 +75,7 @@ fn main() {
         }
         println!("{}", t.render());
         let (m_star, t_star) = optimal_m(&counts, model);
-        println!(
-            "predicted optimal m = {m_star} (T = {t_star:.4} s by the (4.1) model)\n"
-        );
+        println!("predicted optimal m = {m_star} (T = {t_star:.4} s by the (4.1) model)\n");
     }
     println!("Paper: for the m = 9 -> 10 transition the (lhs, rhs) pairs at");
     println!("a = 41, 62, 80 made 10 steps preferable only for a = 80 — i.e. the");

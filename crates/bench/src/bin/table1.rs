@@ -24,7 +24,7 @@ fn main() {
         .assemble()
         .expect("assembly");
     let ord = asm.multicolor().expect("ordering");
-    let ssor = MulticolorSsor::new(&ord.matrix, &ord.colors, 1.0).expect("splitting");
+    let ssor = MulticolorSsor::new(ord.matrix.clone(), ord.colors.clone(), 1.0).expect("splitting");
     let (lo, hi) = ssor.spectrum_interval(80).expect("spectrum");
     println!("Table 1: alpha values for the m-step SSOR PCG method");
     println!("plate a = {a}, sigma(P^-1 K) in [{lo:.4}, {hi:.4}]\n");
@@ -46,12 +46,7 @@ fn main() {
             let alphas = fit(m);
             let mut cells = vec![m.to_string()];
             for i in 0..6 {
-                cells.push(
-                    alphas
-                        .get(i)
-                        .map(|v| format!("{v:.3}"))
-                        .unwrap_or_default(),
-                );
+                cells.push(alphas.get(i).map(|v| format!("{v:.3}")).unwrap_or_default());
             }
             t.row(cells);
         }

@@ -56,7 +56,10 @@ fn main() {
             .collect();
         order.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap());
         let names: Vec<&str> = order.iter().map(|(n, _)| n.as_str()).collect();
-        println!("effectiveness order (fastest first) on {p} proc(s): {}", names.join(" < "));
+        println!(
+            "effectiveness order (fastest first) on {p} proc(s): {}",
+            names.join(" < ")
+        );
     }
 
     // Observation (3): overhead decomposition at 5 processors.
@@ -72,10 +75,7 @@ fn main() {
             label(r.m, r.parametrized),
             format!("{:.1}%", 100.0 * r.overhead[2]),
             format!("{:.2}", r.breakdown_last.precond_comm),
-            format!(
-                "{:.2}",
-                r.breakdown_last.reductions + r.breakdown_last.flag
-            ),
+            format!("{:.2}", r.breakdown_last.reductions + r.breakdown_last.flag),
         ]);
     }
     println!("{}", t.render());

@@ -3,13 +3,16 @@
 
 use mspcg_core::analysis::{preconditioned_condition_number, CostModel};
 use mspcg_core::{
-    cg_solve, pcg_solve, MStepSsorPreconditioner, PcgOptions, StoppingCriterion,
+    cg_solve, pcg_solve, pcg_solve_into, MStepSsorPreconditioner, PcgOptions, PcgWorkspace,
+    StoppingCriterion,
 };
 use mspcg_fem::plate::{AssembledProblem, OrderedProblem, PlaneStressProblem};
+use mspcg_fem::poisson::poisson5;
 use mspcg_machine::array::{run_fem_machine, ArrayBreakdown};
 use mspcg_machine::vector::{run_cyber_pcg, CoefficientChoice};
 use mspcg_machine::{ArrayMachineParams, VectorMachineParams};
-use mspcg_sparse::SparseError;
+use mspcg_sparse::{CsrMatrix, Partition, SparseError};
+use std::sync::Arc;
 
 /// The m-rows of Table 2: unparametrized 0–4, parametrized 2P–10P.
 pub const MS_TABLE2: &[(usize, bool)] = &[
@@ -250,23 +253,53 @@ pub fn condition_study(a: usize, ms: &[usize]) -> Result<Vec<ConditionRow>, Spar
 /// Iterations of the 1-step multicolor SSOR PCG as a function of ω
 /// (§5: ω = 1 is a good choice for multicolor orderings).
 ///
+/// The sweep is the repeated-solve showcase: the matrix and partition are
+/// shared via `Arc` across every ω (no deep copies), and all solves reuse
+/// one [`PcgWorkspace`] — after the first, each point costs zero heap
+/// allocation.
+///
 /// # Errors
 /// Propagates solver failures.
 pub fn omega_sweep(a: usize, omegas: &[f64]) -> Result<Vec<(f64, usize)>, SparseError> {
     let asm = PlaneStressProblem::unit_square(a).assemble()?;
     let ord = asm.multicolor()?;
+    let matrix = Arc::new(ord.matrix);
+    let colors = Arc::new(ord.colors);
     let opts = PcgOptions {
         tol: 1e-6,
         criterion: StoppingCriterion::DisplacementChange,
         ..Default::default()
     };
+    let n = matrix.rows();
+    let mut ws = PcgWorkspace::new(n);
+    let mut u = vec![0.0; n];
     let mut out = Vec::with_capacity(omegas.len());
     for &w in omegas {
-        let pre = MStepSsorPreconditioner::unparametrized_omega(&ord.matrix, &ord.colors, 1, w)?;
-        let sol = pcg_solve(&ord.matrix, &ord.rhs, &pre, &opts)?;
-        out.push((w, sol.iterations));
+        let pre = MStepSsorPreconditioner::unparametrized_omega_shared(
+            Arc::clone(&matrix),
+            Arc::clone(&colors),
+            1,
+            w,
+        )?;
+        u.fill(0.0);
+        let rep = pcg_solve_into(&matrix, &ord.rhs, &mut u, &pre, &opts, &mut ws)?;
+        out.push((w, rep.iterations));
     }
     Ok(out)
+}
+
+/// Assemble the `n × n` red/black 5-point Poisson problem and permute it
+/// into its two color blocks — the serial-vs-parallel kernel benches run
+/// on the 512 × 512 instance (262 144 unknowns).
+///
+/// # Errors
+/// Propagates assembly/permutation failures.
+pub fn ordered_poisson(n: usize) -> Result<(CsrMatrix, Partition, Vec<f64>), SparseError> {
+    let p = poisson5(n)?;
+    let ord = p.coloring.ordering();
+    let matrix = ord.permute_matrix(&p.matrix)?;
+    let rhs = ord.permutation.gather(&p.rhs);
+    Ok((matrix, ord.partition, rhs))
 }
 
 /// Iteration count for a given configuration on the ordered problem
@@ -340,14 +373,7 @@ mod tests {
     #[test]
     fn table3_speedups_increase_with_processors() {
         let rows: &[(usize, bool)] = &[(0, false), (1, false)];
-        let t = run_table3(
-            6,
-            rows,
-            &[1, 2, 5],
-            &ArrayMachineParams::default(),
-            1e-6,
-        )
-        .unwrap();
+        let t = run_table3(6, rows, &[1, 2, 5], &ArrayMachineParams::default(), 1e-6).unwrap();
         for row in &t.rows {
             assert!(row.speedups[0] == 1.0);
             assert!(row.speedups[1] > 1.0);
@@ -369,13 +395,7 @@ mod tests {
     #[test]
     fn omega_one_is_near_optimal() {
         let sweep = omega_sweep(8, &[0.7, 1.0, 1.3, 1.6]).unwrap();
-        let at = |w: f64| {
-            sweep
-                .iter()
-                .find(|(x, _)| (x - w).abs() < 1e-12)
-                .unwrap()
-                .1
-        };
+        let at = |w: f64| sweep.iter().find(|(x, _)| (x - w).abs() < 1e-12).unwrap().1;
         let best = sweep.iter().map(|&(_, i)| i).min().unwrap();
         // ω = 1 within 20% of the best of the sweep.
         assert!(

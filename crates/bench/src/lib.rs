@@ -26,6 +26,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use experiments::{
     condition_study, omega_sweep, run_table2, run_table3, table2_sizes, ConditionRow, Table2Cell,

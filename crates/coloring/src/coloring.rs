@@ -185,7 +185,9 @@ impl Coloring {
             }
         }
         // Keep color order stable (by original color index).
-        let mut order: Vec<usize> = (0..self.num_colors).filter(|&c| remap[c] != usize::MAX).collect();
+        let mut order: Vec<usize> = (0..self.num_colors)
+            .filter(|&c| remap[c] != usize::MAX)
+            .collect();
         order.sort_unstable();
         for (rank, &c) in order.iter().enumerate() {
             remap[c] = rank;

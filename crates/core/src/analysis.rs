@@ -120,7 +120,10 @@ pub fn cg_iteration_bound(kappa: f64, eps: f64) -> usize {
 /// # Panics
 /// Panics on an empty slice.
 pub fn optimal_m(counts: &[(usize, usize)], model: CostModel) -> (usize, f64) {
-    assert!(!counts.is_empty(), "optimal_m needs at least one data point");
+    assert!(
+        !counts.is_empty(),
+        "optimal_m needs at least one data point"
+    );
     counts
         .iter()
         .map(|&(m, n)| (m, model.time(m, n)))

@@ -86,10 +86,7 @@ impl IncompleteCholesky {
                         d -= values[kk] * values[kk];
                     }
                     if d <= 0.0 {
-                        return Err(SparseError::NotPositiveDefinite {
-                            pivot: i,
-                            value: d,
-                        });
+                        return Err(SparseError::NotPositiveDefinite { pivot: i, value: d });
                     }
                     values[idx] = d.sqrt();
                     continue;

@@ -46,7 +46,10 @@ pub mod ssor;
 pub use coeffs::{least_squares_alphas, minimax_alphas, Weight};
 pub use ic::IncompleteCholesky;
 pub use mstep::{MStep, MStepJacobiPreconditioner, MStepSsorPreconditioner};
-pub use pcg::{cg_solve, pcg_solve, PcgOptions, PcgSolution, StoppingCriterion};
+pub use pcg::{
+    cg_solve, pcg_solve, pcg_solve_into, PcgOptions, PcgReport, PcgSolution, PcgWorkspace,
+    StoppingCriterion,
+};
 pub use preconditioner::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};
 pub use splitting::{JacobiSplitting, NaturalSsorSplitting, Splitting};
 pub use ssor::MulticolorSsor;

@@ -20,6 +20,7 @@ use crate::preconditioner::Preconditioner;
 use crate::splitting::{JacobiSplitting, Splitting};
 use crate::ssor::MulticolorSsor;
 use mspcg_sparse::{CsrMatrix, Partition, SparseError};
+use std::sync::Arc;
 
 /// Power-iteration budget used when a constructor must estimate the
 /// spectral interval itself.
@@ -91,11 +92,7 @@ impl<S: Splitting> MStep<S> {
         Self::checked(splitting, alphas, interval)
     }
 
-    fn checked(
-        splitting: S,
-        alphas: Vec<f64>,
-        interval: (f64, f64),
-    ) -> Result<Self, SparseError> {
+    fn checked(splitting: S, alphas: Vec<f64>, interval: (f64, f64)) -> Result<Self, SparseError> {
         let margin = spd_margin(&alphas, interval);
         if margin <= 0.0 {
             return Err(SparseError::NotPositiveDefinite {
@@ -151,11 +148,28 @@ pub type MStepSsorPreconditioner = MStep<MulticolorSsor>;
 impl MStepSsorPreconditioner {
     /// Unparametrized m-step SSOR (ω = 1) on a color-blocked matrix.
     ///
+    /// Clones the matrix and partition once; sweep-style callers building
+    /// many preconditioners over one system should use
+    /// [`MStepSsorPreconditioner::unparametrized_shared`].
+    ///
     /// # Errors
     /// Propagates [`MulticolorSsor::new`] validation errors.
     pub fn unparametrized(
         a: &CsrMatrix,
         colors: &Partition,
+        m: usize,
+    ) -> Result<Self, SparseError> {
+        Self::unparametrized_shared(Arc::new(a.clone()), Arc::new(colors.clone()), m)
+    }
+
+    /// Unparametrized m-step SSOR (ω = 1) sharing the system via `Arc` —
+    /// no matrix or partition copy.
+    ///
+    /// # Errors
+    /// Propagates [`MulticolorSsor::new`] validation errors.
+    pub fn unparametrized_shared(
+        a: Arc<CsrMatrix>,
+        colors: Arc<Partition>,
         m: usize,
     ) -> Result<Self, SparseError> {
         let s = MulticolorSsor::new(a, colors, 1.0)?;
@@ -169,6 +183,19 @@ impl MStepSsorPreconditioner {
     /// # Errors
     /// Propagates construction, estimation and SPD-check errors.
     pub fn parametrized(a: &CsrMatrix, colors: &Partition, m: usize) -> Result<Self, SparseError> {
+        Self::parametrized_shared(Arc::new(a.clone()), Arc::new(colors.clone()), m)
+    }
+
+    /// Least-squares parametrized m-step SSOR sharing the system via
+    /// `Arc` — no matrix or partition copy.
+    ///
+    /// # Errors
+    /// Propagates construction, estimation and SPD-check errors.
+    pub fn parametrized_shared(
+        a: Arc<CsrMatrix>,
+        colors: Arc<Partition>,
+        m: usize,
+    ) -> Result<Self, SparseError> {
         let s = MulticolorSsor::new(a, colors, 1.0)?;
         Self::new_least_squares(s, m, Weight::Uniform)
     }
@@ -182,7 +209,7 @@ impl MStepSsorPreconditioner {
         colors: &Partition,
         m: usize,
     ) -> Result<Self, SparseError> {
-        let s = MulticolorSsor::new(a, colors, 1.0)?;
+        let s = MulticolorSsor::new(a.clone(), colors.clone(), 1.0)?;
         Self::new_minimax(s, m)
     }
 
@@ -194,6 +221,20 @@ impl MStepSsorPreconditioner {
     pub fn unparametrized_omega(
         a: &CsrMatrix,
         colors: &Partition,
+        m: usize,
+        omega: f64,
+    ) -> Result<Self, SparseError> {
+        Self::unparametrized_omega_shared(Arc::new(a.clone()), Arc::new(colors.clone()), m, omega)
+    }
+
+    /// ω-sweep constructor sharing the system via `Arc` — the sweep builds
+    /// one splitting per ω without ever copying the matrix.
+    ///
+    /// # Errors
+    /// Propagates construction errors (including ω ∉ (0, 2)).
+    pub fn unparametrized_omega_shared(
+        a: Arc<CsrMatrix>,
+        colors: Arc<Partition>,
         m: usize,
         omega: f64,
     ) -> Result<Self, SparseError> {
@@ -326,7 +367,7 @@ mod tests {
     #[test]
     fn explicit_coefficients_are_used_verbatim() {
         let (a, p) = rb_system(6);
-        let s = MulticolorSsor::new(&a, &p, 1.0).unwrap();
+        let s = MulticolorSsor::new(a.clone(), p.clone(), 1.0).unwrap();
         let pre = MStep::new_with_coefficients(s, vec![2.0]).unwrap();
         let r = vec![1.0; 6];
         let mut z = vec![0.0; 6];
@@ -341,7 +382,7 @@ mod tests {
     #[test]
     fn empty_coefficients_rejected() {
         let (a, p) = rb_system(6);
-        let s = MulticolorSsor::new(&a, &p, 1.0).unwrap();
+        let s = MulticolorSsor::new(a.clone(), p.clone(), 1.0).unwrap();
         assert!(MStep::new_with_coefficients(s, vec![]).is_err());
     }
 }

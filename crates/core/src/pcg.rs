@@ -95,6 +95,81 @@ pub struct PcgSolution {
     pub stats: PcgStats,
 }
 
+/// Allocation-free view of a solve's outcome, returned by
+/// [`pcg_solve_into`] (the solution lives in the caller's buffer, the
+/// history — if recorded — in the [`PcgWorkspace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PcgReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the stopping test fired within the budget.
+    pub converged: bool,
+    /// Final `‖u^{k+1} − uᵏ‖∞`.
+    pub final_change: f64,
+    /// Final `‖r‖₂ / ‖f‖₂`.
+    pub final_relative_residual: f64,
+    /// Operation counts.
+    pub stats: PcgStats,
+}
+
+/// Reusable scratch buffers for the PCG loop.
+///
+/// Algorithm 1 needs four working vectors (`r`, `r̂`, `p`, `Kp`). The
+/// one-shot entry points ([`pcg_solve`], [`pcg_solve_from`]) allocate them
+/// per call; repeated solves over systems of one size — the ω sweep, the
+/// condition scans, the Table 2/3 m sweeps — should construct one
+/// `PcgWorkspace` and call [`pcg_solve_into`], whose iteration performs
+/// **no heap allocation** after workspace construction (when history
+/// recording is off; with it on, [`PcgWorkspace::reserve_history`]
+/// preallocates the record too).
+#[derive(Debug, Clone)]
+pub struct PcgWorkspace {
+    r: Vec<f64>,
+    rhat: Vec<f64>,
+    p: Vec<f64>,
+    kp: Vec<f64>,
+    history: Vec<f64>,
+}
+
+impl PcgWorkspace {
+    /// Workspace for systems of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        PcgWorkspace {
+            r: vec![0.0; n],
+            rhat: vec![0.0; n],
+            p: vec![0.0; n],
+            kp: vec![0.0; n],
+            history: Vec::new(),
+        }
+    }
+
+    /// Dimension the workspace is sized for.
+    pub fn dim(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Resize for a different dimension (reallocates only when `n` grows
+    /// past the current capacity).
+    pub fn resize(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.rhat.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.kp.resize(n, 0.0);
+    }
+
+    /// Preallocate the history record so that solves with
+    /// `record_history` stay allocation free up to `iters` iterations.
+    pub fn reserve_history(&mut self, iters: usize) {
+        self.history.reserve(iters);
+    }
+
+    /// Criterion history of the most recent [`pcg_solve_into`] call
+    /// (empty unless `record_history` was set).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+}
+
 /// Solve `K u = f` by PCG from the zero initial guess.
 ///
 /// ```
@@ -133,6 +208,9 @@ pub fn pcg_solve(
 
 /// Solve `K u = f` by PCG from the initial guess `u0`.
 ///
+/// Allocates a fresh [`PcgWorkspace`]; sweep-style callers should hold one
+/// workspace and use [`pcg_solve_into`] directly.
+///
 /// # Errors
 /// Same classes as [`pcg_solve`].
 pub fn pcg_solve_from(
@@ -142,6 +220,44 @@ pub fn pcg_solve_from(
     m: &impl Preconditioner,
     opts: &PcgOptions,
 ) -> Result<PcgSolution, SparseError> {
+    let mut ws = PcgWorkspace::new(f.len());
+    let mut u = u0.to_vec();
+    let rep = pcg_solve_into(k, f, &mut u, m, opts, &mut ws)?;
+    Ok(PcgSolution {
+        x: u,
+        iterations: rep.iterations,
+        converged: rep.converged,
+        final_change: rep.final_change,
+        final_relative_residual: rep.final_relative_residual,
+        history: std::mem::take(&mut ws.history),
+        stats: rep.stats,
+    })
+}
+
+/// Solve `K u = f` by PCG with caller-owned storage: `u` holds the initial
+/// guess on entry and the solution on exit, and every scratch vector lives
+/// in `ws`.
+///
+/// This is the zero-allocation entry point: after `ws` is constructed (and
+/// sized for `k`), the iteration loop performs **no heap allocation** —
+/// the SpMV, the preconditioner application, both inner products and all
+/// vector updates run in place. Reusing one workspace across a parameter
+/// sweep (ω scans, m sweeps, repeated right-hand sides) therefore costs
+/// zero allocator traffic per solve, and two consecutive calls with the
+/// same inputs produce bitwise-identical results.
+///
+/// An undersized workspace is resized on entry (that path allocates once).
+///
+/// # Errors
+/// Same classes as [`pcg_solve`].
+pub fn pcg_solve_into(
+    k: &CsrMatrix,
+    f: &[f64],
+    u: &mut [f64],
+    m: &impl Preconditioner,
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> Result<PcgReport, SparseError> {
     let n = k.rows();
     if k.cols() != n {
         return Err(SparseError::NotSquare {
@@ -149,45 +265,50 @@ pub fn pcg_solve_from(
             cols: k.cols(),
         });
     }
-    if f.len() != n || u0.len() != n || m.dim() != n {
+    if f.len() != n || u.len() != n || m.dim() != n {
         return Err(SparseError::ShapeMismatch {
             left: (n, n),
-            right: (f.len(), u0.len().max(m.dim())),
+            right: (f.len(), u.len().max(m.dim())),
         });
     }
+    if ws.dim() != n {
+        ws.resize(n);
+    }
+    ws.history.clear();
 
     let mut stats = PcgStats::default();
-    let mut history = Vec::new();
+    let PcgWorkspace {
+        r,
+        rhat,
+        p,
+        kp,
+        history,
+    } = ws;
 
     let f_norm = vecops::norm2(f);
-    if f_norm == 0.0 && u0.iter().all(|&v| v == 0.0) {
+    if f_norm == 0.0 && u.iter().all(|&v| v == 0.0) {
         // Trivial system: the zero vector is exact.
-        return Ok(PcgSolution {
-            x: vec![0.0; n],
+        return Ok(PcgReport {
             iterations: 0,
             converged: true,
             final_change: 0.0,
             final_relative_residual: 0.0,
-            history,
             stats,
         });
     }
 
-    let mut u = u0.to_vec();
     // r⁰ = f − K u⁰.
-    let mut r = f.to_vec();
-    k.mul_vec_axpy(-1.0, &u, &mut r);
+    vecops::copy(f, r);
+    k.mul_vec_axpy(-1.0, u, r);
     stats.spmv += 1;
 
-    let mut rhat = vec![0.0; n];
-    m.apply(&r, &mut rhat);
+    m.apply(r, rhat);
     stats.precond_applications += 1;
     stats.precond_steps += m.steps_per_apply();
 
-    let mut p = rhat.clone();
-    let mut kp = vec![0.0; n];
+    vecops::copy(rhat, p);
 
-    let mut rz = vecops::dot(&rhat, &r);
+    let mut rz = vecops::dot(rhat, r);
     stats.inner_products += 1;
     if rz < 0.0 {
         return Err(SparseError::NotPositiveDefinite {
@@ -199,9 +320,9 @@ pub fn pcg_solve_from(
     let mut change = f64::INFINITY;
     let mut completed = 0usize;
     for iter in 1..=opts.max_iterations {
-        k.mul_vec_into(&p, &mut kp);
+        k.mul_vec_into(p, kp);
         stats.spmv += 1;
-        let denom = vecops::dot(&p, &kp);
+        let denom = vecops::dot(p, kp);
         stats.inner_products += 1;
         if denom <= 0.0 {
             if rz == 0.0 {
@@ -215,38 +336,36 @@ pub fn pcg_solve_from(
         }
         completed = iter;
         let alpha = rz / denom;
-        vecops::axpy(alpha, &p, &mut u);
+        vecops::axpy(alpha, p, u);
         // ‖u^{k+1} − uᵏ‖∞ = |α|·‖p‖∞ — no extra vector needed.
-        change = alpha.abs() * vecops::norm_inf(&p);
-        vecops::axpy(-alpha, &kp, &mut r);
+        change = alpha.abs() * vecops::norm_inf(p);
+        vecops::axpy(-alpha, kp, r);
 
         let crit_value = match opts.criterion {
             StoppingCriterion::DisplacementChange => change,
             StoppingCriterion::RelativeResidual => {
                 stats.inner_products += 1;
-                vecops::norm2(&r) / f_norm.max(1e-300)
+                vecops::norm2(r) / f_norm.max(1e-300)
             }
         };
         if opts.record_history {
             history.push(crit_value);
         }
         if crit_value < opts.tol {
-            let final_rel = vecops::norm2(&r) / f_norm.max(1e-300);
-            return Ok(PcgSolution {
-                x: u,
+            let final_rel = vecops::norm2(r) / f_norm.max(1e-300);
+            return Ok(PcgReport {
                 iterations: iter,
                 converged: true,
                 final_change: change,
                 final_relative_residual: final_rel,
-                history,
                 stats,
             });
         }
 
-        m.apply(&r, &mut rhat);
+        m.apply(r, rhat);
         stats.precond_applications += 1;
         stats.precond_steps += m.steps_per_apply();
-        let rz_new = vecops::dot(&rhat, &r);
+        let rz_new = vecops::dot(rhat, r);
         stats.inner_products += 1;
         if rz_new < 0.0 {
             return Err(SparseError::NotPositiveDefinite {
@@ -256,19 +375,17 @@ pub fn pcg_solve_from(
         }
         let beta = rz_new / rz.max(1e-300);
         rz = rz_new;
-        vecops::xpby(&rhat, beta, &mut p);
+        vecops::xpby(rhat, beta, p);
     }
 
-    let final_rel = vecops::norm2(&r) / f_norm.max(1e-300);
+    let final_rel = vecops::norm2(r) / f_norm.max(1e-300);
     // rz == 0 exact-breakdown exit lands here with converged status.
     if rz == 0.0 || change < opts.tol {
-        return Ok(PcgSolution {
-            x: u,
+        return Ok(PcgReport {
             iterations: completed,
             converged: true,
             final_change: change,
             final_relative_residual: final_rel,
-            history,
             stats,
         });
     }
@@ -414,10 +531,7 @@ mod tests {
         c.push(1, 1, -1.0).unwrap();
         let a = c.to_csr();
         let err = cg_solve(&a, &[1.0, 1.0], &PcgOptions::default());
-        assert!(matches!(
-            err,
-            Err(SparseError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(err, Err(SparseError::NotPositiveDefinite { .. })));
     }
 
     #[test]
@@ -493,6 +607,56 @@ mod tests {
         let sol = pcg_solve_from(&a, &b, &x_true, &pre, &PcgOptions::default()).unwrap();
         assert!(sol.converged);
         assert!(sol.iterations <= 1);
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        // Two consecutive solves on one PcgWorkspace must agree bitwise,
+        // and both must agree with the allocating wrapper.
+        let (a, p) = rb(64);
+        let pre = MStepSsorPreconditioner::unparametrized(&a, &p, 2).unwrap();
+        let b: Vec<f64> = (0..64).map(|i| ((i * 11 + 3) % 17) as f64 - 8.0).collect();
+        let opts = PcgOptions {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let mut ws = PcgWorkspace::new(64);
+        let mut u1 = vec![0.0; 64];
+        let rep1 = pcg_solve_into(&a, &b, &mut u1, &pre, &opts, &mut ws).unwrap();
+        let mut u2 = vec![0.0; 64];
+        let rep2 = pcg_solve_into(&a, &b, &mut u2, &pre, &opts, &mut ws).unwrap();
+        assert_eq!(u1, u2);
+        assert_eq!(rep1.iterations, rep2.iterations);
+        assert_eq!(rep1.final_change, rep2.final_change);
+        let sol = pcg_solve(&a, &b, &pre, &opts).unwrap();
+        assert_eq!(sol.x, u1);
+        assert_eq!(sol.iterations, rep1.iterations);
+    }
+
+    #[test]
+    fn workspace_records_history_and_resizes() {
+        let a = laplacian(20);
+        let b = vec![1.0; 20];
+        let opts = PcgOptions {
+            record_history: true,
+            ..Default::default()
+        };
+        let mut ws = PcgWorkspace::new(4); // undersized: must self-resize
+        ws.reserve_history(64);
+        let mut u = vec![0.0; 20];
+        let rep = pcg_solve_into(
+            &a,
+            &b,
+            &mut u,
+            &IdentityPreconditioner::new(20),
+            &opts,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(ws.dim(), 20);
+        assert_eq!(ws.history().len(), rep.iterations);
+        let sol = cg_solve(&a, &b, &opts).unwrap();
+        assert_eq!(sol.history, ws.history());
     }
 
     #[test]

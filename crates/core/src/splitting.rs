@@ -267,7 +267,12 @@ mod tests {
         };
         let xj = converge(&jac, &b, 100);
         let xs = converge(&ssor, &b, 100);
-        assert!(err(&xs) < err(&xj), "ssor {} vs jacobi {}", err(&xs), err(&xj));
+        assert!(
+            err(&xs) < err(&xj),
+            "ssor {} vs jacobi {}",
+            err(&xs),
+            err(&xj)
+        );
     }
 
     #[test]
@@ -320,7 +325,10 @@ mod tests {
         let exact_lo = 1.0 - h.cos();
         let exact_hi = 1.0 + h.cos();
         assert!(lo > 0.0 && lo < exact_lo * 2.0, "lo {lo} vs {exact_lo}");
-        assert!(hi > exact_hi * 0.98 && hi < exact_hi * 1.1, "hi {hi} vs {exact_hi}");
+        assert!(
+            hi > exact_hi * 0.98 && hi < exact_hi * 1.1,
+            "hi {hi} vs {exact_hi}"
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! every diagonal color block `D_c` is *diagonal*, so the SOR sweeps of
 //! SSOR reduce to, per color, an off-diagonal block multiply followed by a
 //! pointwise diagonal solve — long vector operations / embarrassingly
-//! parallel loops.
+//! parallel loops. The per-color row loops here run on the `mspcg-sparse`
+//! worker pool (`par` feature) for large blocks: rows within one color
+//! update independently (the multicolor guarantee), so the parallel sweep
+//! is bitwise identical to the serial one for any thread count.
 //!
 //! ## The Conrad–Wallach auxiliary vector
 //!
@@ -18,6 +21,13 @@
 //! `lower` from `y`. Every off-diagonal entry is then touched **once per
 //! SSOR step**, which is the paper's claim that the m-step SSOR
 //! preconditioner costs only m multicolor SOR sweeps.
+//!
+//! The m-step `msolve` additionally *fuses* the `w_0 = 0` initialization
+//! into the first forward sweep: since every lower half-sum of step 1 reads
+//! only rows already updated in that same pass and every upper half-sum is
+//! structurally zero, the first sweep writes every element of `z` and of
+//! the cache without reading either — no `fill(0)` passes over the full
+//! vectors, and each color block is swept exactly once per step.
 //!
 //! ## Schedule details (paper Algorithm 2/3 loop bounds)
 //!
@@ -37,30 +47,41 @@
 
 use crate::splitting::Splitting;
 use mspcg_sparse::lanczos::power_spectral_radius;
+use mspcg_sparse::par::{self, ParSlice};
 use mspcg_sparse::{CsrMatrix, Partition, SparseError};
-use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 
 /// Multicolor SSOR(ω) splitting of a color-blocked SPD matrix.
 ///
 /// Constructed from a matrix already permuted into contiguous color blocks
 /// (see `mspcg-coloring`); validates that each diagonal block is diagonal.
+/// The matrix and partition are held by [`Arc`], so building many
+/// splittings over one system (the ω sweep, the condition studies, the
+/// Table 2/3 m sweeps) shares the data instead of deep-cloning it.
 #[derive(Debug)]
 pub struct MulticolorSsor {
-    a: CsrMatrix,
-    colors: Partition,
+    a: Arc<CsrMatrix>,
+    colors: Arc<Partition>,
     omega: f64,
     inv_diag: Vec<f64>,
     /// Per row: CSR index of the first entry with column ≥ own-block start.
     lo_split: Vec<usize>,
     /// Per row: CSR index of the first entry with column ≥ own-block end.
     hi_split: Vec<usize>,
-    /// Conrad–Wallach half-sum cache (valid only inside one msolve call).
-    y: RefCell<Vec<f64>>,
+    /// Conrad–Wallach half-sum cache (valid only inside one msolve call;
+    /// a mutex rather than a `RefCell` so the splitting stays `Sync` and
+    /// can be shared with the worker pool and across solver threads).
+    y: Mutex<Vec<f64>>,
 }
 
 impl MulticolorSsor {
     /// Build from a color-blocked matrix. `ω = 1` is the paper's choice
     /// (§5: for multicolor orderings with few colors, `ω = 1` is good).
+    ///
+    /// Accepts anything convertible into shared handles: pass `Arc`s to
+    /// share one system across many splittings (no copy), or owned values
+    /// to move them in. Borrowing callers can clone explicitly — the old
+    /// implicit deep copy of both matrix and partition is gone.
     ///
     /// # Errors
     /// * [`SparseError::NotSquare`] / shape mismatch with the partition,
@@ -68,7 +89,13 @@ impl MulticolorSsor {
     ///   inside its own color block (the coloring failed to decouple),
     /// * [`SparseError::ZeroDiagonal`] for missing/nonpositive diagonals,
     /// * [`SparseError::InvalidPartition`] for ω outside `(0, 2)`.
-    pub fn new(a: &CsrMatrix, colors: &Partition, omega: f64) -> Result<Self, SparseError> {
+    pub fn new(
+        a: impl Into<Arc<CsrMatrix>>,
+        colors: impl Into<Arc<Partition>>,
+        omega: f64,
+    ) -> Result<Self, SparseError> {
+        let a: Arc<CsrMatrix> = a.into();
+        let colors: Arc<Partition> = colors.into();
         if a.rows() != a.cols() {
             return Err(SparseError::NotSquare {
                 rows: a.rows(),
@@ -128,13 +155,13 @@ impl MulticolorSsor {
             }
         }
         Ok(MulticolorSsor {
-            a: a.clone(),
-            colors: colors.clone(),
+            a,
+            colors,
             omega,
             inv_diag,
             lo_split,
             hi_split,
-            y: RefCell::new(vec![0.0; n]),
+            y: Mutex::new(vec![0.0; n]),
         })
     }
 
@@ -148,8 +175,18 @@ impl MulticolorSsor {
         &self.colors
     }
 
+    /// Shared handle to the color partition.
+    pub fn colors_arc(&self) -> &Arc<Partition> {
+        &self.colors
+    }
+
     /// The (color-blocked) matrix.
     pub fn matrix(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// Shared handle to the matrix.
+    pub fn matrix_arc(&self) -> &Arc<CsrMatrix> {
         &self.a
     }
 
@@ -175,10 +212,49 @@ impl MulticolorSsor {
         s
     }
 
+    /// Lower half-sum reading through a shared slice (parallel sweep path).
+    ///
+    /// # Safety
+    /// Every column index in the lower half of row `i` must not be
+    /// concurrently written (guaranteed by the multicolor property: those
+    /// columns lie in colors already finalized this pass).
+    #[inline]
+    unsafe fn lower_sum_shared(&self, i: usize, x: &ParSlice<'_>) -> f64 {
+        let cols = self.a.col_idx();
+        let vals = self.a.values();
+        let mut s = 0.0;
+        for k in self.a.row_ptr()[i]..self.lo_split[i] {
+            // SAFETY: forwarded contract.
+            s += vals[k] * unsafe { x.get(cols[k] as usize) };
+        }
+        s
+    }
+
+    /// Upper half-sum through a shared slice; same contract as
+    /// [`MulticolorSsor::lower_sum_shared`] for the upper half.
+    #[inline]
+    unsafe fn upper_sum_shared(&self, i: usize, x: &ParSlice<'_>) -> f64 {
+        let cols = self.a.col_idx();
+        let vals = self.a.values();
+        let mut s = 0.0;
+        for k in self.hi_split[i]..self.a.row_ptr()[i + 1] {
+            // SAFETY: forwarded contract.
+            s += vals[k] * unsafe { x.get(cols[k] as usize) };
+        }
+        s
+    }
+
     #[inline]
     fn relax(&self, i: usize, rhs_minus_sums: f64, x: &mut [f64]) {
         let xi = x[i];
         x[i] = (1.0 - self.omega) * xi + self.omega * rhs_minus_sums * self.inv_diag[i];
+    }
+
+    /// Stored entries in color block `c` — the work measure deciding
+    /// whether its row loop is worth running on the pool.
+    #[inline]
+    fn block_nnz(&self, blk: &std::ops::Range<usize>) -> usize {
+        self.a.row_ptr()[blk.end] - self.a.row_ptr()[blk.start]
     }
 
     /// Forward sweep with half-sum cache: fresh lower sums, cached upper
@@ -188,28 +264,129 @@ impl MulticolorSsor {
     /// zero — read it as such rather than from the cache (with ω = 1 the
     /// backward pass skips the last color, leaving a stale *lower* sum in
     /// `y` there).
+    ///
+    /// Each color's row loop is data parallel: row `i` writes only `x[i]`
+    /// and `y[i]` and reads `x` only at columns of *other* colors.
     fn forward_cached(&self, scale: f64, b: &[f64], x: &mut [f64], y: &mut [f64]) {
         let nb = self.colors.num_blocks();
         for c in 0..nb {
+            let blk = self.colors.range(c);
             let last = c == nb - 1;
-            for i in self.colors.range(c) {
-                let lower = self.lower_sum(i, x);
-                let upper = if last { 0.0 } else { y[i] };
-                self.relax(i, scale * b[i] - lower - upper, x);
-                y[i] = lower;
+            let threads = par::threads_for(self.block_nnz(&blk), par::PAR_MIN_NNZ);
+            if threads <= 1 {
+                for i in blk {
+                    let lower = self.lower_sum(i, x);
+                    let upper = if last { 0.0 } else { y[i] };
+                    self.relax(i, scale * b[i] - lower - upper, x);
+                    y[i] = lower;
+                }
+            } else {
+                let xs = ParSlice::new(x);
+                let ys = ParSlice::new(y);
+                let (chunk, nchunks) = par::row_layout(blk.len());
+                par::for_each_chunk(nchunks, threads, &|ci| {
+                    let lo = blk.start + ci * chunk;
+                    let hi = (lo + chunk).min(blk.end);
+                    for i in lo..hi {
+                        // SAFETY: row i is owned by this chunk (disjoint
+                        // chunks of one color block); reads touch other
+                        // colors only — the multicolor property.
+                        unsafe {
+                            let lower = self.lower_sum_shared(i, &xs);
+                            let upper = if last { 0.0 } else { ys.get(i) };
+                            let xi = xs.get(i);
+                            xs.set(
+                                i,
+                                (1.0 - self.omega) * xi
+                                    + self.omega
+                                        * (scale * b[i] - lower - upper)
+                                        * self.inv_diag[i],
+                            );
+                            ys.set(i, lower);
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    /// First forward sweep of an msolve, fused with the `w₀ = 0` start:
+    /// identical to [`MulticolorSsor::forward_cached`] on zero-filled
+    /// `x`/`y`, but never *reads* either — the `(1−ω)x` self-term and the
+    /// cached upper sums are structurally zero — so the zero-fill passes
+    /// are skipped entirely.
+    fn forward_first(&self, scale: f64, b: &[f64], x: &mut [f64], y: &mut [f64]) {
+        let nb = self.colors.num_blocks();
+        for c in 0..nb {
+            let blk = self.colors.range(c);
+            let threads = par::threads_for(self.block_nnz(&blk), par::PAR_MIN_NNZ);
+            if threads <= 1 {
+                for i in blk {
+                    let lower = self.lower_sum(i, x);
+                    x[i] = self.omega * (scale * b[i] - lower) * self.inv_diag[i];
+                    y[i] = lower;
+                }
+            } else {
+                let xs = ParSlice::new(x);
+                let ys = ParSlice::new(y);
+                let (chunk, nchunks) = par::row_layout(blk.len());
+                par::for_each_chunk(nchunks, threads, &|ci| {
+                    let lo = blk.start + ci * chunk;
+                    let hi = (lo + chunk).min(blk.end);
+                    for i in lo..hi {
+                        // SAFETY: as in forward_cached; additionally, the
+                        // lower sums of color 0 are empty and of color c>0
+                        // read only rows written in earlier (barriered)
+                        // color phases of this same pass.
+                        unsafe {
+                            let lower = self.lower_sum_shared(i, &xs);
+                            xs.set(i, self.omega * (scale * b[i] - lower) * self.inv_diag[i]);
+                            ys.set(i, lower);
+                        }
+                    }
+                });
             }
         }
     }
 
     /// Backward sweep with half-sum cache, from block `from` (inclusive)
-    /// down to block 0.
+    /// down to block 0; per-color row loops data parallel like the forward
+    /// sweep.
     fn backward_cached(&self, scale: f64, b: &[f64], x: &mut [f64], y: &mut [f64], from: usize) {
         for c in (0..=from).rev() {
-            for i in self.colors.range(c) {
-                let upper = self.upper_sum(i, x);
-                let lower = y[i];
-                self.relax(i, scale * b[i] - lower - upper, x);
-                y[i] = upper;
+            let blk = self.colors.range(c);
+            let threads = par::threads_for(self.block_nnz(&blk), par::PAR_MIN_NNZ);
+            if threads <= 1 {
+                for i in blk {
+                    let upper = self.upper_sum(i, x);
+                    let lower = y[i];
+                    self.relax(i, scale * b[i] - lower - upper, x);
+                    y[i] = upper;
+                }
+            } else {
+                let xs = ParSlice::new(x);
+                let ys = ParSlice::new(y);
+                let (chunk, nchunks) = par::row_layout(blk.len());
+                par::for_each_chunk(nchunks, threads, &|ci| {
+                    let lo = blk.start + ci * chunk;
+                    let hi = (lo + chunk).min(blk.end);
+                    for i in lo..hi {
+                        // SAFETY: as in forward_cached, mirrored.
+                        unsafe {
+                            let upper = self.upper_sum_shared(i, &xs);
+                            let lower = ys.get(i);
+                            let xi = xs.get(i);
+                            xs.set(
+                                i,
+                                (1.0 - self.omega) * xi
+                                    + self.omega
+                                        * (scale * b[i] - lower - upper)
+                                        * self.inv_diag[i],
+                            );
+                            ys.set(i, upper);
+                        }
+                    }
+                });
             }
         }
     }
@@ -263,23 +440,25 @@ impl Splitting for MulticolorSsor {
     }
 
     /// Algorithm 2: m-step multicolor SSOR solve of `M r̂ = r` with the
-    /// Conrad–Wallach cache carried across steps. Starts from `r̂ = 0`,
-    /// `y = 0`; step `s` uses coefficient `α_{m−s}` on the right-hand side
-    /// (the final backward color-1 update runs with `α₀`, which is the
-    /// paper's trailing step (3)).
+    /// Conrad–Wallach cache carried across steps. Step `s` uses coefficient
+    /// `α_{m−s}` on the right-hand side (the final backward color-1 update
+    /// runs with `α₀`, which is the paper's trailing step (3)). The
+    /// `r̂ = 0`, `y = 0` start is fused into the first forward sweep — no
+    /// zero-fill passes, each color block swept once per step.
     fn msolve(&self, alphas: &[f64], r: &[f64], z: &mut [f64]) {
         assert!(!alphas.is_empty(), "msolve needs at least one coefficient");
         assert_eq!(r.len(), self.dim(), "mc-ssor msolve: r length mismatch");
         assert_eq!(z.len(), self.dim(), "mc-ssor msolve: z length mismatch");
         let m = alphas.len();
-        let mut y = self.y.borrow_mut();
-        y.fill(0.0);
-        z.fill(0.0);
+        let mut y = self.y.lock().unwrap_or_else(|e| e.into_inner());
+        let y = y.as_mut_slice();
         let from = self.backward_start();
-        for s in 1..=m {
+        self.forward_first(alphas[m - 1], r, z, y);
+        self.backward_cached(alphas[m - 1], r, z, y, from);
+        for s in 2..=m {
             let alpha = alphas[m - s];
-            self.forward_cached(alpha, r, z, &mut y);
-            self.backward_cached(alpha, r, z, &mut y, from);
+            self.forward_cached(alpha, r, z, y);
+            self.backward_cached(alpha, r, z, y, from);
         }
     }
 
@@ -332,7 +511,7 @@ mod tests {
         let a = c.to_csr();
         let p = Partition::single(4);
         assert!(matches!(
-            MulticolorSsor::new(&a, &p, 1.0),
+            MulticolorSsor::new(a, p, 1.0),
             Err(SparseError::InvalidPartition { .. })
         ));
     }
@@ -345,9 +524,22 @@ mod tests {
         let a = c.to_csr();
         let p = Partition::from_sizes(&[1, 1]).unwrap();
         assert!(matches!(
-            MulticolorSsor::new(&a, &p, 1.0),
+            MulticolorSsor::new(a, p, 1.0),
             Err(SparseError::ZeroDiagonal { row: 1 })
         ));
+    }
+
+    #[test]
+    fn shared_handles_are_not_cloned() {
+        let (a, p) = rb_laplacian(8);
+        let a = Arc::new(a);
+        let p = Arc::new(p);
+        let mc = MulticolorSsor::new(Arc::clone(&a), Arc::clone(&p), 1.0).unwrap();
+        assert!(Arc::ptr_eq(mc.matrix_arc(), &a));
+        assert!(Arc::ptr_eq(mc.colors_arc(), &p));
+        // Two splittings over the same system share the same storage.
+        let mc2 = MulticolorSsor::new(Arc::clone(&a), Arc::clone(&p), 1.5).unwrap();
+        assert!(Arc::ptr_eq(mc.matrix_arc(), mc2.matrix_arc()));
     }
 
     #[test]
@@ -356,7 +548,7 @@ mod tests {
         // are the same iteration (colors are contiguous ascending blocks) —
         // up to the skipped idempotent last-color backward update at ω = 1.
         let (a, p) = rb_laplacian(8);
-        let mc = MulticolorSsor::new(&a, &p, 1.0).unwrap();
+        let mc = MulticolorSsor::new(a.clone(), p, 1.0).unwrap();
         let nat = NaturalSsorSplitting::new(&a, 1.0).unwrap();
         let b: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
         let mut x1 = vec![0.25; 8];
@@ -371,7 +563,7 @@ mod tests {
     #[test]
     fn step_matches_natural_ssor_with_omega() {
         let (a, p) = rb_laplacian(9);
-        let mc = MulticolorSsor::new(&a, &p, 1.4).unwrap();
+        let mc = MulticolorSsor::new(a.clone(), p, 1.4).unwrap();
         let nat = NaturalSsorSplitting::new(&a, 1.4).unwrap();
         let b: Vec<f64> = (0..9).map(|i| 1.0 + i as f64).collect();
         let mut x1 = vec![0.0; 9];
@@ -391,7 +583,7 @@ mod tests {
         // "m independent full steps" Horner evaluation.
         let (a, p) = rb_laplacian(10);
         for omega in [1.0, 0.8, 1.5] {
-            let mc = MulticolorSsor::new(&a, &p, omega).unwrap();
+            let mc = MulticolorSsor::new(a.clone(), p.clone(), omega).unwrap();
             let r: Vec<f64> = (0..10).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
             for alphas in [vec![1.0], vec![1.0, 1.0, 1.0], vec![0.5, 2.0, -0.25, 1.25]] {
                 let mut z_fast = vec![0.0; 10];
@@ -413,9 +605,25 @@ mod tests {
     }
 
     #[test]
+    fn msolve_ignores_stale_output_buffer() {
+        // The fused first sweep must not read z or the cache: poisoning
+        // both beforehand may not change the result.
+        let (a, p) = rb_laplacian(10);
+        let mc = MulticolorSsor::new(a, p, 1.3).unwrap();
+        let r: Vec<f64> = (0..10).map(|i| (i as f64 * 0.9).cos()).collect();
+        let alphas = [1.0, -0.5, 2.0];
+        let mut z1 = vec![0.0; 10];
+        mc.msolve(&alphas, &r, &mut z1);
+        let mut z2 = vec![f64::MAX; 10];
+        mc.y.lock().unwrap().fill(f64::NAN);
+        mc.msolve(&alphas, &r, &mut z2);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
     fn msolve_is_linear_in_r() {
         let (a, p) = rb_laplacian(8);
-        let mc = MulticolorSsor::new(&a, &p, 1.0).unwrap();
+        let mc = MulticolorSsor::new(a, p, 1.0).unwrap();
         let alphas = [1.0, 2.0, 0.5];
         let r1: Vec<f64> = (0..8).map(|i| (i as f64).cos()).collect();
         let r2: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).sin()).collect();
@@ -435,7 +643,7 @@ mod tests {
     fn preconditioner_matrix_is_symmetric() {
         // M⁻¹ = p(G) P⁻¹ must be symmetric: check e_iᵀ M⁻¹ e_j == e_jᵀ M⁻¹ e_i.
         let (a, p) = rb_laplacian(6);
-        let mc = MulticolorSsor::new(&a, &p, 1.0).unwrap();
+        let mc = MulticolorSsor::new(a, p, 1.0).unwrap();
         let alphas = [1.0, 3.0, -0.5];
         let n = 6;
         let mut minv = vec![vec![0.0; n]; n];
@@ -461,7 +669,7 @@ mod tests {
     #[test]
     fn m_steps_reduce_stationary_error() {
         let (a, p) = rb_laplacian(12);
-        let mc = MulticolorSsor::new(&a, &p, 1.0).unwrap();
+        let mc = MulticolorSsor::new(a.clone(), p, 1.0).unwrap();
         let x_true: Vec<f64> = (0..12).map(|i| (i as f64 * 0.4).cos()).collect();
         let r = a.mul_vec(&x_true);
         let err = |m: usize| -> f64 {
@@ -481,7 +689,7 @@ mod tests {
     #[test]
     fn spectrum_interval_upper_is_one() {
         let (a, p) = rb_laplacian(16);
-        let mc = MulticolorSsor::new(&a, &p, 1.0).unwrap();
+        let mc = MulticolorSsor::new(a, p, 1.0).unwrap();
         let (lo, hi) = mc.spectrum_interval(80).unwrap();
         assert_eq!(hi, 1.0);
         assert!(lo > 0.0 && lo < 1.0);
@@ -490,7 +698,35 @@ mod tests {
     #[test]
     fn offdiag_ops_count() {
         let (a, p) = rb_laplacian(8);
-        let mc = MulticolorSsor::new(&a, &p, 1.0).unwrap();
-        assert_eq!(mc.offdiag_ops_per_step(), a.nnz() - 8);
+        let nnz = a.nnz();
+        let mc = MulticolorSsor::new(a, p, 1.0).unwrap();
+        assert_eq!(mc.offdiag_ops_per_step(), nnz - 8);
+    }
+
+    /// Parallel sweeps must agree bitwise with the serial path across
+    /// thread counts — the SSOR leg of the determinism contract. The
+    /// problem is sized past the parallel threshold.
+    #[test]
+    fn msolve_is_thread_count_insensitive() {
+        let (a, p) = rb_laplacian(40_000);
+        let mc = MulticolorSsor::new(a, p, 1.0).unwrap();
+        let r: Vec<f64> = (0..40_000)
+            .map(|i| ((i * 29 + 13) % 89) as f64 * 0.02 - 0.9)
+            .collect();
+        let alphas = [1.0, 0.75, 1.25];
+        let before = par::max_threads();
+        par::set_max_threads(1);
+        let mut z1 = vec![0.0; 40_000];
+        mc.msolve(&alphas, &r, &mut z1);
+        for t in [2usize, 4, 8] {
+            par::set_max_threads(t);
+            let mut zt = vec![0.0; 40_000];
+            mc.msolve(&alphas, &r, &mut zt);
+            assert!(
+                z1.iter().zip(&zt).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "msolve differs at t = {t}"
+            );
+        }
+        par::set_max_threads(before);
     }
 }

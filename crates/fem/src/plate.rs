@@ -57,7 +57,12 @@ impl PlaneStressProblem {
     /// General rectangular plate.
     pub fn rectangle(rows: usize, cols: usize, material: Material, load: EdgeLoad) -> Self {
         PlaneStressProblem {
-            mesh: PlateMesh::rectangle(rows, cols, 1.0 / (cols as f64 - 1.0), 1.0 / (rows as f64 - 1.0)),
+            mesh: PlateMesh::rectangle(
+                rows,
+                cols,
+                1.0 / (cols as f64 - 1.0),
+                1.0 / (rows as f64 - 1.0),
+            ),
             material,
             load,
         }
@@ -74,8 +79,7 @@ impl PlaneStressProblem {
         let n_full = 2 * n_nodes;
 
         // --- full stiffness ---------------------------------------------
-        let mut coo =
-            CooMatrix::with_capacity(n_full, n_full, mesh.num_triangles() * 36);
+        let mut coo = CooMatrix::with_capacity(n_full, n_full, mesh.num_triangles() * 36);
         for tri in mesh.triangles() {
             let p: Vec<[f64; 2]> = tri.iter().map(|&n| mesh.node_coords(n)).collect();
             let ke = cst_stiffness(p[0], p[1], p[2], &self.material);

@@ -225,11 +225,7 @@ mod tests {
         p.coloring.verify_for(&p.matrix).unwrap();
         // Red/black would NOT decouple the 9-point stencil: diagonal
         // neighbours share the 2-color parity.
-        let rb = Coloring::from_labels(
-            (0..49).map(|k| (k / 7 + k % 7) % 2).collect(),
-            2,
-        )
-        .unwrap();
+        let rb = Coloring::from_labels((0..49).map(|k| (k / 7 + k % 7) % 2).collect(), 2).unwrap();
         assert!(rb.verify_for(&p.matrix).is_err());
     }
 

@@ -10,15 +10,7 @@ use crate::plate::AssembledProblem;
 /// The stencil of one node: offsets `(Δrow, Δcol)` of coupled nodes
 /// (including `(0, 0)` itself).
 pub fn node_stencil_offsets() -> [(isize, isize); 7] {
-    [
-        (0, 0),
-        (0, 1),
-        (0, -1),
-        (1, 0),
-        (-1, 0),
-        (1, -1),
-        (-1, 1),
-    ]
+    [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0), (1, -1), (-1, 1)]
 }
 
 /// Observed stencil of a reduced matrix row: grid offsets of every coupled

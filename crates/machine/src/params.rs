@@ -6,8 +6,6 @@
 //! startup, and reduction cost (CYBER), and between arithmetic and
 //! communication (Finite Element Machine).
 
-use serde::{Deserialize, Serialize};
-
 /// CYBER 203/205 pipeline model (§3.1).
 ///
 /// A vector instruction over `n` elements costs
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// efficiency is `n / (startup + n)`: with the default startup of 111
 /// cycles this gives 90 % at n = 1000, ≈47 % at n = 100 and ≈8 % at
 /// n = 10 — the figures quoted in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VectorMachineParams {
     /// Seconds per machine cycle (CYBER 203 class: 40 ns).
     pub cycle_time: f64,
@@ -92,7 +90,7 @@ impl VectorMachineParams {
 /// sums either through a software tree on the links or the sum/max
 /// hardware circuit (O(log₂ P), the paper says the circuit was designed
 /// precisely because the software path was "potentially detrimental").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayMachineParams {
     /// Seconds per floating-point operation on one processor (1983
     /// microprocessor class, software floating point).

@@ -282,10 +282,24 @@ mod tests {
     fn preconditioning_reduces_iterations_and_adds_precond_time() {
         let (asm, ord) = plate(8);
         let params = VectorMachineParams::default();
-        let cg = run_cyber_pcg(&asm, &ord, 0, CoefficientChoice::Unparametrized, &params, 1e-6)
-            .unwrap();
-        let m1 = run_cyber_pcg(&asm, &ord, 1, CoefficientChoice::Unparametrized, &params, 1e-6)
-            .unwrap();
+        let cg = run_cyber_pcg(
+            &asm,
+            &ord,
+            0,
+            CoefficientChoice::Unparametrized,
+            &params,
+            1e-6,
+        )
+        .unwrap();
+        let m1 = run_cyber_pcg(
+            &asm,
+            &ord,
+            1,
+            CoefficientChoice::Unparametrized,
+            &params,
+            1e-6,
+        )
+        .unwrap();
         assert!(m1.iterations < cg.iterations);
         assert!(m1.breakdown.preconditioner > 0.0);
     }
@@ -294,8 +308,15 @@ mod tests {
     fn parametrized_flag_recorded() {
         let (asm, ord) = plate(6);
         let params = VectorMachineParams::default();
-        let r = run_cyber_pcg(&asm, &ord, 2, CoefficientChoice::Parametrized, &params, 1e-6)
-            .unwrap();
+        let r = run_cyber_pcg(
+            &asm,
+            &ord,
+            2,
+            CoefficientChoice::Parametrized,
+            &params,
+            1e-6,
+        )
+        .unwrap();
         assert!(r.parametrized);
         assert_eq!(r.m, 2);
     }
@@ -304,8 +325,15 @@ mod tests {
     fn max_vector_length_matches_formula() {
         let (asm, ord) = plate(9);
         let params = VectorMachineParams::default();
-        let r = run_cyber_pcg(&asm, &ord, 0, CoefficientChoice::Unparametrized, &params, 1e-4)
-            .unwrap();
+        let r = run_cyber_pcg(
+            &asm,
+            &ord,
+            0,
+            CoefficientChoice::Unparametrized,
+            &params,
+            1e-4,
+        )
+        .unwrap();
         assert_eq!(r.max_vector_length, (9 * 9usize).div_ceil(3));
     }
 
@@ -313,11 +341,18 @@ mod tests {
     fn cost_constants_are_positive_and_consistent() {
         let (asm, ord) = plate(6);
         let params = VectorMachineParams::default();
-        let r = run_cyber_pcg(&asm, &ord, 3, CoefficientChoice::Unparametrized, &params, 1e-6)
-            .unwrap();
+        let r = run_cyber_pcg(
+            &asm,
+            &ord,
+            3,
+            CoefficientChoice::Unparametrized,
+            &params,
+            1e-6,
+        )
+        .unwrap();
         assert!(r.a_per_iteration > 0.0 && r.b_per_step > 0.0);
-        let predicted =
-            r.iterations as f64 * r.a_per_iteration + r.solution.stats.precond_steps as f64 * r.b_per_step;
+        let predicted = r.iterations as f64 * r.a_per_iteration
+            + r.solution.stats.precond_steps as f64 * r.b_per_step;
         assert!((predicted - r.seconds).abs() / r.seconds < 1e-9);
     }
 }

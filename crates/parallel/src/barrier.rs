@@ -50,7 +50,8 @@ impl SpinBarrier {
         if arrived == self.total {
             // Last arriver: reset and release the generation.
             self.count.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
         } else {
             let mut spins = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {

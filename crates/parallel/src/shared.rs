@@ -111,7 +111,11 @@ impl SharedVec {
     /// Consume into a plain vector (main thread, after all workers have
     /// joined).
     pub fn into_vec(self) -> Vec<f64> {
-        self.buf.into_vec().into_iter().map(|c| c.into_inner()).collect()
+        self.buf
+            .into_vec()
+            .into_iter()
+            .map(|c| c.into_inner())
+            .collect()
     }
 }
 

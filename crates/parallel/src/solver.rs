@@ -23,9 +23,10 @@
 //! Results are bit-deterministic across runs (fixed reduction order) and
 //! agree with the sequential solver to rounding.
 
-use crate::shared::{slot, ScalarBank, SharedVec};
 use crate::barrier::SpinBarrier;
-use mspcg_sparse::{CsrMatrix, Partition, SparseError};
+use crate::shared::{slot, ScalarBank, SharedVec};
+use mspcg_sparse::{vecops, CsrMatrix, Partition, SparseError};
+use std::sync::Arc;
 
 /// Options for the threaded solver.
 #[derive(Debug, Clone, Copy)]
@@ -74,9 +75,12 @@ mod status {
 }
 
 /// The threaded m-step SSOR PCG solver (ω = 1).
+///
+/// Holds the system behind [`Arc`] so a solver and the sequential
+/// reference (or several solvers) can share one matrix without copies.
 pub struct ParallelMStepPcg {
-    matrix: CsrMatrix,
-    colors: Partition,
+    matrix: Arc<CsrMatrix>,
+    colors: Arc<Partition>,
     alphas: Vec<f64>,
     inv_diag: Vec<f64>,
     lo_split: Vec<usize>,
@@ -84,9 +88,10 @@ pub struct ParallelMStepPcg {
 }
 
 impl ParallelMStepPcg {
-    /// Build from a color-blocked matrix. `alphas` empty means plain CG
-    /// (no preconditioner); otherwise `alphas[i]` multiplies `Gⁱ P⁻¹`
-    /// (all-ones = unparametrized m-step).
+    /// Build from a color-blocked matrix, cloning it once. `alphas` empty
+    /// means plain CG (no preconditioner); otherwise `alphas[i]` multiplies
+    /// `Gⁱ P⁻¹` (all-ones = unparametrized m-step). Callers that already
+    /// hold `Arc`s should use [`ParallelMStepPcg::shared`].
     ///
     /// # Errors
     /// Same validation as the sequential `MulticolorSsor` (square matrix,
@@ -94,6 +99,18 @@ impl ParallelMStepPcg {
     pub fn new(
         matrix: &CsrMatrix,
         colors: &Partition,
+        alphas: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        Self::shared(Arc::new(matrix.clone()), Arc::new(colors.clone()), alphas)
+    }
+
+    /// Build from shared handles — no matrix or partition copy.
+    ///
+    /// # Errors
+    /// Same classes as [`ParallelMStepPcg::new`].
+    pub fn shared(
+        matrix: Arc<CsrMatrix>,
+        colors: Arc<Partition>,
         alphas: Vec<f64>,
     ) -> Result<Self, SparseError> {
         if matrix.rows() != matrix.cols() {
@@ -140,8 +157,8 @@ impl ParallelMStepPcg {
             }
         }
         Ok(ParallelMStepPcg {
-            matrix: matrix.clone(),
-            colors: colors.clone(),
+            matrix,
+            colors,
             alphas,
             inv_diag,
             lo_split,
@@ -158,11 +175,7 @@ impl ParallelMStepPcg {
         let hw = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
-        let t = if requested == 0 {
-            hw.min(8)
-        } else {
-            requested
-        };
+        let t = if requested == 0 { hw.min(8) } else { requested };
         t.clamp(1, self.matrix.rows().max(1))
     }
 
@@ -211,21 +224,26 @@ impl ParallelMStepPcg {
         let barrier = SpinBarrier::new(threads);
         let iters_out = SharedVec::zeros(2); // [iterations, final_change]
 
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let strip = strips[t].clone();
-                let (u, r, z, p, kp, y, partials, bank, barrier, iters_out) =
-                    (&u, &r, &z, &p, &kp, &y, &partials, &bank, &barrier, &iters_out);
+                let (u, r, z, p, kp, y, partials, bank, barrier, iters_out) = (
+                    &u, &r, &z, &p, &kp, &y, &partials, &bank, &barrier, &iters_out,
+                );
                 let this = &*self;
-                s.spawn(move |_| {
-                    this.worker(
-                        t, threads, strip, u, r, z, p, kp, y, partials, bank, barrier, iters_out,
-                        opts,
-                    );
+                // `serialized` pins the shared kernels to this worker:
+                // each strip is small by construction, so nested pool
+                // launches would only add contention.
+                s.spawn(move || {
+                    mspcg_sparse::par::serialized(|| {
+                        this.worker(
+                            t, threads, strip, u, r, z, p, kp, y, partials, bank, barrier,
+                            iters_out, opts,
+                        );
+                    });
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
         let code = unsafe { bank.get(slot::STOP) };
         let out = iters_out.into_vec();
@@ -284,7 +302,7 @@ impl ParallelMStepPcg {
             let zs = z.read();
             p.write(own.clone()).copy_from_slice(&zs[own.clone()]);
             let rs = r.read();
-            let partial = dot_range(zs, rs, own.clone());
+            let partial = vecops::dot(&zs[own.clone()], &rs[own.clone()]);
             partials.write_at(t, partial);
         }
         barrier.wait();
@@ -309,24 +327,18 @@ impl ParallelMStepPcg {
         }
 
         for iter in 1..=opts.max_iterations {
-            // --- kp = K p --------------------------------------------------
+            // --- kp = K p (shared strip SpMV kernel) -----------------------
             unsafe {
                 let pv = p.read();
                 let out = kp.write(own.clone());
-                for (k, i) in own.clone().enumerate() {
-                    let mut acc = 0.0;
-                    for idx in self.matrix.row_ptr()[i]..self.matrix.row_ptr()[i + 1] {
-                        acc += self.matrix.values()[idx]
-                            * pv[self.matrix.col_idx()[idx] as usize];
-                    }
-                    out[k] = acc;
-                }
+                self.matrix.mul_vec_range_into(pv, out, own.clone());
             }
             barrier.wait();
 
             // --- (p, Kp) partials -------------------------------------------
             unsafe {
-                let partial = dot_range(p.read(), kp.read(), own.clone());
+                let (ps, kps) = (p.read(), kp.read());
+                let partial = vecops::dot(&ps[own.clone()], &kps[own.clone()]);
                 partials.write_at(t, partial);
             }
             barrier.wait();
@@ -368,9 +380,7 @@ impl ParallelMStepPcg {
                     maxp = maxp.max(pv[i].abs());
                 }
                 let ro = r.write(own.clone());
-                for (k, i) in own.clone().enumerate() {
-                    ro[k] -= alpha * kpv[i];
-                }
+                vecops::axpy(-alpha, &kpv[own.clone()], ro);
                 partials.write_at(t, alpha.abs() * maxp);
             }
             barrier.wait();
@@ -401,7 +411,8 @@ impl ParallelMStepPcg {
 
             // --- (z, r) partials ----------------------------------------------
             unsafe {
-                let partial = dot_range(z.read(), r.read(), own.clone());
+                let (zs, rs) = (z.read(), r.read());
+                let partial = vecops::dot(&zs[own.clone()], &rs[own.clone()]);
                 partials.write_at(t, partial);
             }
             barrier.wait();
@@ -426,13 +437,11 @@ impl ParallelMStepPcg {
             }
             let beta = unsafe { bank.get(slot::BETA) };
 
-            // --- p = z + βp -----------------------------------------------------
+            // --- p = z + βp (shared xpby kernel) -------------------------------
             unsafe {
                 let zv = z.read();
                 let po = p.write(own.clone());
-                for (k, i) in own.clone().enumerate() {
-                    po[k] = zv[i] + beta * po[k];
-                }
+                vecops::xpby(&zv[own.clone()], beta, po);
             }
             barrier.wait();
         }
@@ -525,15 +534,6 @@ impl ParallelMStepPcg {
         }
         s
     }
-}
-
-#[inline]
-fn dot_range(a: &[f64], b: &[f64], range: std::ops::Range<usize>) -> f64 {
-    let mut s = 0.0;
-    for i in range {
-        s += a[i] * b[i];
-    }
-    s
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //!   duplicates) and in bounds.
 
 use crate::error::SparseError;
+use crate::par;
 use crate::permute::Permutation;
 
 /// Sparse matrix in CSR format with sorted, deduplicated columns.
@@ -219,37 +220,102 @@ impl CsrMatrix {
     /// `y ← A·x` into a caller-provided buffer (no allocation; this is the
     /// hot kernel of every CG iteration).
     ///
+    /// Large matrices run row-parallel on the `mspcg-sparse` worker pool
+    /// (`par` feature); rows are independent, so the result is bitwise
+    /// identical to the serial path for any thread count.
+    ///
     /// # Panics
     /// Panics if `x.len() != cols` or `y.len() != rows`.
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec: y length mismatch");
-        for i in 0..self.rows {
+        let threads = par::threads_for(self.nnz(), par::PAR_MIN_NNZ);
+        if threads <= 1 {
+            self.mul_vec_range_into(x, y, 0..self.rows);
+            return;
+        }
+        let (chunk, nchunks) = par::row_layout(self.rows);
+        let ys = par::ParSlice::new(y);
+        par::for_each_chunk(nchunks, threads, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(self.rows);
+            // SAFETY: row chunks are disjoint and each claimed once.
+            let out = unsafe { ys.slice_mut(lo..hi) };
+            self.mul_vec_range_into(x, out, lo..hi);
+        });
+    }
+
+    /// Serial SpMV over a row range: `y[k] ← (A·x)[rows.start + k]`. The
+    /// building block shared by the row-parallel [`CsrMatrix::mul_vec_into`]
+    /// and by `mspcg-parallel`'s SPMD strips.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != rows.len()` or the range is out of bounds.
+    #[inline]
+    pub fn mul_vec_range_into(&self, x: &[f64], y: &mut [f64], rows: std::ops::Range<usize>) {
+        assert!(rows.end <= self.rows, "mul_vec_range: rows out of bounds");
+        assert_eq!(y.len(), rows.len(), "mul_vec_range: y length mismatch");
+        for (k, i) in rows.enumerate() {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
             let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k] as usize];
+            for j in lo..hi {
+                acc += self.values[j] * x[self.col_idx[j] as usize];
             }
-            y[i] = acc;
+            y[k] = acc;
         }
     }
 
-    /// `y ← y + a·(A·x)` fused kernel (used by residual updates).
+    /// `y ← y + a·(A·x)` fused kernel (used by residual updates); row
+    /// parallel like [`CsrMatrix::mul_vec_into`].
     ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn mul_vec_axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec_axpy: x length mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec_axpy: y length mismatch");
-        for i in 0..self.rows {
+        let threads = par::threads_for(self.nnz(), par::PAR_MIN_NNZ);
+        if threads <= 1 {
+            self.mul_vec_axpy_range(a, x, y, 0..self.rows);
+            return;
+        }
+        let (chunk, nchunks) = par::row_layout(self.rows);
+        let ys = par::ParSlice::new(y);
+        par::for_each_chunk(nchunks, threads, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(self.rows);
+            // SAFETY: row chunks are disjoint and each claimed once.
+            let out = unsafe { ys.slice_mut(lo..hi) };
+            self.mul_vec_axpy_range(a, x, out, lo..hi);
+        });
+    }
+
+    /// Serial fused SpMV-accumulate over a row range:
+    /// `y[k] += a·(A·x)[rows.start + k]`.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != rows.len()` or the range is out of bounds.
+    #[inline]
+    pub fn mul_vec_axpy_range(
+        &self,
+        a: f64,
+        x: &[f64],
+        y: &mut [f64],
+        rows: std::ops::Range<usize>,
+    ) {
+        assert!(
+            rows.end <= self.rows,
+            "mul_vec_axpy_range: rows out of bounds"
+        );
+        assert_eq!(y.len(), rows.len(), "mul_vec_axpy_range: y length mismatch");
+        for (k, i) in rows.enumerate() {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
             let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k] as usize];
+            for j in lo..hi {
+                acc += self.values[j] * x[self.col_idx[j] as usize];
             }
-            y[i] += a * acc;
+            y[k] += a * acc;
         }
     }
 
@@ -637,6 +703,50 @@ mod tests {
         let a = c.to_csr().prune(1e-12);
         assert_eq!(a.nnz(), 2); // both diagonals kept, tiny off-diagonal gone
         assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn range_kernels_match_full_spmv() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        let full = a.mul_vec(&x);
+        let mut part = vec![0.0; 2];
+        a.mul_vec_range_into(&x, &mut part, 1..3);
+        assert_eq!(part, &full[1..3]);
+        let mut acc = vec![1.0; 2];
+        a.mul_vec_axpy_range(-2.0, &x, &mut acc, 0..2);
+        assert_eq!(acc[0], 1.0 - 2.0 * full[0]);
+        assert_eq!(acc[1], 1.0 - 2.0 * full[1]);
+    }
+
+    #[test]
+    fn spmv_is_thread_count_insensitive() {
+        let _guard = crate::par::thread_sweep_lock();
+        // Big enough to cross the parallel threshold.
+        let n = 40_000usize;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+            if i + 1 < n {
+                coo.push_sym(i, i + 1, -1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 13 + 5) % 97) as f64 * 0.03 - 1.0)
+            .collect();
+        let before = crate::par::max_threads();
+        crate::par::set_max_threads(1);
+        let y1 = a.mul_vec(&x);
+        for t in [2usize, 4, 8] {
+            crate::par::set_max_threads(t);
+            let yt = a.mul_vec(&x);
+            assert!(
+                y1.iter().zip(&yt).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "spmv differs at t = {t}"
+            );
+        }
+        crate::par::set_max_threads(before);
     }
 
     #[test]

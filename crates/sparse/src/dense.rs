@@ -383,9 +383,7 @@ impl Cholesky {
     /// verifying positive definiteness margins in tests.
     pub fn log10_det(&self) -> f64 {
         let n = self.n;
-        2.0 * (0..n)
-            .map(|i| self.l[i * n + i].log10())
-            .sum::<f64>()
+        2.0 * (0..n).map(|i| self.l[i * n + i].log10()).sum::<f64>()
     }
 }
 
@@ -426,11 +424,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[4.0, -1.0, 0.0],
-            &[-1.0, 4.0, -1.0],
-            &[0.0, -1.0, 4.0],
-        ])
+        DenseMatrix::from_rows(&[&[4.0, -1.0, 0.0], &[-1.0, 4.0, -1.0], &[0.0, -1.0, 4.0]])
     }
 
     #[test]

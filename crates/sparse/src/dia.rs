@@ -35,11 +35,8 @@ impl DiaMatrix {
         let offsets = a.diagonal_offsets();
         let mut diagonals = vec![vec![0.0; a.rows()]; offsets.len()];
         // Map offset -> slot.
-        let slot: std::collections::BTreeMap<isize, usize> = offsets
-            .iter()
-            .enumerate()
-            .map(|(k, &d)| (d, k))
-            .collect();
+        let slot: std::collections::BTreeMap<isize, usize> =
+            offsets.iter().enumerate().map(|(k, &d)| (d, k)).collect();
         for i in 0..a.rows() {
             for (j, v) in a.row_entries(i) {
                 let d = j as isize - i as isize;

@@ -210,7 +210,10 @@ mod tests {
         let exact_max = 2.0 + 2.0 * (n as f64 * h).cos().abs();
         assert!((est.max - exact_max).abs() / exact_max < 1e-3, "{est:?}");
         // λmin is harder; allow 10% and the interval must bracket from inside.
-        assert!(est.min >= exact_min * 0.5 && est.min <= exact_min * 1.5, "{est:?}");
+        assert!(
+            est.min >= exact_min * 0.5 && est.min <= exact_min * 1.5,
+            "{est:?}"
+        );
     }
 
     #[test]

@@ -25,6 +25,32 @@
 //! Everything is `f64`; the solvers in `mspcg-core` are deliberately not
 //! generic over the scalar so that the hot kernels stay monomorphic and easy
 //! for LLVM to vectorize.
+//!
+//! ## Performance
+//!
+//! The hot kernels — CSR SpMV ([`csr::CsrMatrix::mul_vec_into`] /
+//! [`csr::CsrMatrix::mul_vec_axpy`]) and the BLAS-1 reductions in
+//! [`vecops`] — are **data parallel** behind the `par` feature (on by
+//! default). They run on the persistent `std::thread` worker pool in
+//! [`par`]; no external runtime is required.
+//!
+//! *Determinism contract.* Every kernel splits its index space into chunks
+//! whose boundaries depend only on the problem size, and every reduction
+//! combines per-chunk partials in ascending chunk order. Results are
+//! therefore **bitwise identical** across thread counts (1, 2, 4, 8, …)
+//! and between the serial and parallel code paths — `cargo test` includes
+//! `*_thread_count_insensitive` tests that assert exactly this.
+//!
+//! *Adaptive fallback.* Kernels below a work threshold
+//! ([`par::PAR_MIN_ELEMS`] elements / [`par::PAR_MIN_NNZ`] stored entries)
+//! run serially: waking the pool costs more than the loop. Thread budget:
+//! hardware parallelism by default, pinned by the `MSPCG_THREADS`
+//! environment variable or [`par::set_max_threads`].
+//!
+//! Build without the feature (`--no-default-features`) for a strictly
+//! serial library with identical numerical results. Measure the speedups
+//! with `cargo bench -p mspcg-bench --bench spmv` (serial vs parallel
+//! groups on a 512×512 red/black Poisson problem).
 
 // Indexed `for i in 0..n` loops are deliberate throughout the numeric
 // kernels: they address several parallel arrays (CSR structure, split
@@ -38,6 +64,7 @@ pub mod dense;
 pub mod dia;
 pub mod error;
 pub mod lanczos;
+pub mod par;
 pub mod partition;
 pub mod permute;
 pub mod vecops;

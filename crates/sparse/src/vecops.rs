@@ -7,20 +7,29 @@
 //!
 //! The paper's central performance observation — that the two *inner
 //! products* per CG iteration are the expensive part on both vector machines
-//! and processor arrays — is modelled in `mspcg-machine`; here we only
-//! provide the numerically careful reference kernels.
+//! and processor arrays — is modelled in `mspcg-machine`; here we provide
+//! the numerically careful reference kernels *and* their data-parallel
+//! forms.
+//!
+//! ## Determinism contract
+//!
+//! Every reduction (dot, norms) is computed over the fixed chunk layout of
+//! [`crate::par::reduction_layout`]: one partial per chunk, partials
+//! combined in ascending chunk order. Chunk boundaries depend only on the
+//! vector length, so results are **bitwise identical** across thread counts
+//! and between the serial and parallel code paths. Elementwise kernels
+//! (axpy, xpby, …) write disjoint chunks and are trivially deterministic.
+//! Large inputs run on the `mspcg-sparse` worker pool (behind the `par`
+//! feature); small inputs take the serial path (see
+//! [`crate::par::PAR_MIN_ELEMS`]).
 
-/// Dot product `xᵀy`.
-///
-/// Uses four independent partial accumulators, which both enables
-/// vectorization and reduces the rounding error compared to a single serial
-/// accumulator.
-///
-/// # Panics
-/// Panics if `x.len() != y.len()`.
+use crate::par;
+
+/// Serial dot kernel over one chunk: four independent partial accumulators,
+/// which both enables vectorization and reduces the rounding error compared
+/// to a single serial accumulator.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+fn dot_chunk(x: &[f64], y: &[f64]) -> f64 {
     let mut acc = [0.0f64; 4];
     let chunks = x.len() / 4;
     for i in 0..chunks {
@@ -37,6 +46,65 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
 }
 
+/// Dot product `xᵀy`, chunk-deterministic (see the module docs).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let n = x.len();
+    let (chunk, nchunks) = par::reduction_layout(n);
+    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    if threads <= 1 {
+        let mut acc = 0.0;
+        for c in 0..nchunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            acc += dot_chunk(&x[lo..hi], &y[lo..hi]);
+        }
+        return acc;
+    }
+    let mut partials = [0.0f64; par::MAX_PARTIALS];
+    {
+        let ps = par::ParSlice::new(&mut partials);
+        par::for_each_chunk(nchunks, threads, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            // SAFETY: each chunk index is claimed exactly once.
+            unsafe { ps.set(c, dot_chunk(&x[lo..hi], &y[lo..hi])) };
+        });
+    }
+    let mut acc = 0.0;
+    for &p in &partials[..nchunks] {
+        acc += p;
+    }
+    acc
+}
+
+/// Distribute an elementwise update over the fixed chunk layout.
+#[inline]
+fn elementwise(n: usize, y: &mut [f64], body: impl Fn(usize, usize, &mut [f64]) + Sync) {
+    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    let (chunk, nchunks) = par::reduction_layout(n);
+    if threads <= 1 {
+        for c in 0..nchunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            body(lo, hi, &mut y[lo..hi]);
+        }
+        return;
+    }
+    let ys = par::ParSlice::new(y);
+    par::for_each_chunk(nchunks, threads, &|c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        // SAFETY: chunks are disjoint and each claimed exactly once.
+        let yc = unsafe { ys.slice_mut(lo..hi) };
+        body(lo, hi, yc);
+    });
+}
+
 /// `y ← y + a·x` (the classic AXPY).
 ///
 /// # Panics
@@ -44,9 +112,11 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
-    }
+    elementwise(x.len(), y, |lo, hi, yc| {
+        for (yi, xi) in yc.iter_mut().zip(&x[lo..hi]) {
+            *yi += a * xi;
+        }
+    });
 }
 
 /// `y ← x + b·y` (scale-and-add used by the CG direction update
@@ -57,17 +127,21 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 #[inline]
 pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpby: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + b * *yi;
-    }
+    elementwise(x.len(), y, |lo, hi, yc| {
+        for (yi, xi) in yc.iter_mut().zip(&x[lo..hi]) {
+            *yi = xi + b * *yi;
+        }
+    });
 }
 
 /// `x ← a·x`.
 #[inline]
 pub fn scale(a: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
-        *xi *= a;
-    }
+    elementwise(x.len(), x, |_, _, xc| {
+        for xi in xc.iter_mut() {
+            *xi *= a;
+        }
+    });
 }
 
 /// Copy `src` into `dst`.
@@ -85,6 +159,38 @@ pub fn zero(x: &mut [f64]) {
     x.fill(0.0);
 }
 
+/// Max-style chunk-deterministic reduction shared by the ∞-norm kernels.
+#[inline]
+fn max_reduce(n: usize, chunk_max: impl Fn(usize, usize) -> f64 + Sync) -> f64 {
+    let (chunk, nchunks) = par::reduction_layout(n);
+    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    if threads <= 1 {
+        let mut m = 0.0f64;
+        for c in 0..nchunks {
+            let v = chunk_max(c * chunk, (c * chunk + chunk).min(n));
+            if v > m {
+                m = v;
+            }
+        }
+        return m;
+    }
+    let mut partials = [0.0f64; par::MAX_PARTIALS];
+    {
+        let ps = par::ParSlice::new(&mut partials);
+        par::for_each_chunk(nchunks, threads, &|c| {
+            // SAFETY: each chunk index is claimed exactly once.
+            unsafe { ps.set(c, chunk_max(c * chunk, (c * chunk + chunk).min(n))) };
+        });
+    }
+    let mut m = 0.0f64;
+    for &v in &partials[..nchunks] {
+        if v > m {
+            m = v;
+        }
+    }
+    m
+}
+
 /// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow for very
 /// large components.
 #[inline]
@@ -94,10 +200,34 @@ pub fn norm2(x: &[f64]) -> f64 {
         return maxabs;
     }
     let inv = 1.0 / maxabs;
+    let n = x.len();
+    let (chunk, nchunks) = par::reduction_layout(n);
+    let sq_chunk = |lo: usize, hi: usize| -> f64 {
+        let mut s = 0.0;
+        for &xi in &x[lo..hi] {
+            let t = xi * inv;
+            s += t * t;
+        }
+        s
+    };
+    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
     let mut s = 0.0;
-    for &xi in x {
-        let t = xi * inv;
-        s += t * t;
+    if threads <= 1 {
+        for c in 0..nchunks {
+            s += sq_chunk(c * chunk, (c * chunk + chunk).min(n));
+        }
+    } else {
+        let mut partials = [0.0f64; par::MAX_PARTIALS];
+        {
+            let ps = par::ParSlice::new(&mut partials);
+            par::for_each_chunk(nchunks, threads, &|c| {
+                // SAFETY: each chunk index is claimed exactly once.
+                unsafe { ps.set(c, sq_chunk(c * chunk, (c * chunk + chunk).min(n))) };
+            });
+        }
+        for &p in &partials[..nchunks] {
+            s += p;
+        }
     }
     maxabs * s.sqrt()
 }
@@ -106,14 +236,16 @@ pub fn norm2(x: &[f64]) -> f64 {
 /// (`|u^{k+1} − u^k|_∞ < ε`, Algorithm 1 step (3)).
 #[inline]
 pub fn norm_inf(x: &[f64]) -> f64 {
-    let mut m = 0.0f64;
-    for &xi in x {
-        let a = xi.abs();
-        if a > m {
-            m = a;
+    max_reduce(x.len(), |lo, hi| {
+        let mut m = 0.0f64;
+        for &xi in &x[lo..hi] {
+            let a = xi.abs();
+            if a > m {
+                m = a;
+            }
         }
-    }
-    m
+        m
+    })
 }
 
 /// `‖x − y‖∞` without forming the difference vector; used by the
@@ -124,14 +256,16 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 #[inline]
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
-    let mut m = 0.0f64;
-    for (xi, yi) in x.iter().zip(y) {
-        let a = (xi - yi).abs();
-        if a > m {
-            m = a;
+    max_reduce(x.len(), |lo, hi| {
+        let mut m = 0.0f64;
+        for (xi, yi) in x[lo..hi].iter().zip(&y[lo..hi]) {
+            let a = (xi - yi).abs();
+            if a > m {
+                m = a;
+            }
         }
-    }
-    m
+        m
+    })
 }
 
 /// Elementwise product `z ← x ⊙ y` (used by diagonal scaling).
@@ -142,9 +276,11 @@ pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
 pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
     assert_eq!(x.len(), z.len(), "hadamard: output length mismatch");
-    for i in 0..z.len() {
-        z[i] = x[i] * y[i];
-    }
+    elementwise(x.len(), z, |lo, hi, zc| {
+        for ((zi, xi), yi) in zc.iter_mut().zip(&x[lo..hi]).zip(&y[lo..hi]) {
+            *zi = xi * yi;
+        }
+    });
 }
 
 /// `z ← x − y`.
@@ -155,9 +291,11 @@ pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
 pub fn sub(x: &[f64], y: &[f64], z: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "sub: length mismatch");
     assert_eq!(x.len(), z.len(), "sub: output length mismatch");
-    for i in 0..z.len() {
-        z[i] = x[i] - y[i];
-    }
+    elementwise(x.len(), z, |lo, hi, zc| {
+        for ((zi, xi), yi) in zc.iter_mut().zip(&x[lo..hi]).zip(&y[lo..hi]) {
+            *zi = xi - yi;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -187,6 +325,21 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_crossing_chunk_boundaries_matches_naive() {
+        let n = crate::par::MIN_REDUCTION_CHUNK * 3 + 17;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 + 11) % 101) as f64 - 50.0)
+            .collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 53 + 5) % 97) as f64 * 0.01).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let d = dot(&x, &y);
+        assert!(
+            (d - naive).abs() < 1e-9 * naive.abs().max(1.0),
+            "{d} vs {naive}"
+        );
     }
 
     #[test]
@@ -251,5 +404,29 @@ mod tests {
         let mut z = [0.0; 3];
         hadamard(&x, &y, &mut z);
         assert_eq!(z, [2.0, 1.0, -3.0]);
+    }
+
+    /// The determinism contract, at unit level: serial result == parallel
+    /// result, bitwise, for every configured thread count.
+    #[test]
+    fn reductions_are_thread_count_insensitive() {
+        let _guard = crate::par::thread_sweep_lock();
+        let n = crate::par::PAR_MIN_ELEMS + 4321;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 + 7) % 1013) as f64 * 1e-3 - 0.5)
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| ((i * 17 + 3) % 911) as f64 * 1e-3 - 0.4)
+            .collect();
+        let before = crate::par::max_threads();
+        crate::par::set_max_threads(1);
+        let d1 = dot(&x, &y);
+        let n1 = norm2(&x);
+        for t in [2usize, 4, 8] {
+            crate::par::set_max_threads(t);
+            assert_eq!(d1.to_bits(), dot(&x, &y).to_bits(), "dot at t = {t}");
+            assert_eq!(n1.to_bits(), norm2(&x).to_bits(), "norm2 at t = {t}");
+        }
+        crate::par::set_max_threads(before);
     }
 }

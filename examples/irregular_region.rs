@@ -31,7 +31,10 @@ fn main() {
             }
         }
     }
-    println!("L-shaped Poisson domain: {count} interior unknowns (of {})", n * n);
+    println!(
+        "L-shaped Poisson domain: {count} interior unknowns (of {})",
+        n * n
+    );
 
     // 5-point Laplacian restricted to the L.
     let mut coo = CooMatrix::new(count, count);
@@ -68,7 +71,9 @@ fn main() {
         println!("greedy {strategy:?}: {} colors", coloring.num_colors());
     }
     let coloring = greedy_coloring(&matrix, GreedyStrategy::Natural).expect("coloring");
-    coloring.verify_for(&matrix).expect("coloring must decouple");
+    coloring
+        .verify_for(&matrix)
+        .expect("coloring must decouple");
     let ordering = coloring.ordering();
     let blocked = ordering.permute_matrix(&matrix).expect("permute");
 

@@ -20,7 +20,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(56usize);
     let m = 3usize;
-    let asm = PlaneStressProblem::unit_square(a).assemble().expect("assembly");
+    let asm = PlaneStressProblem::unit_square(a)
+        .assemble()
+        .expect("assembly");
     let ord = asm.multicolor().expect("ordering");
     println!(
         "plate a = {a} ({} unknowns), preconditioner: {m}-step parametrized SSOR\n",
@@ -29,8 +31,15 @@ fn main() {
 
     // --- CYBER 203 (simulated pipeline) ---------------------------------
     let vparams = VectorMachineParams::default();
-    let cyber = run_cyber_pcg(&asm, &ord, m, CoefficientChoice::Parametrized, &vparams, 1e-6)
-        .expect("cyber run");
+    let cyber = run_cyber_pcg(
+        &asm,
+        &ord,
+        m,
+        CoefficientChoice::Parametrized,
+        &vparams,
+        1e-6,
+    )
+    .expect("cyber run");
     println!("CYBER 203 (simulated):");
     println!(
         "  {} iterations, {:.4} modelled s (max vector length {})",

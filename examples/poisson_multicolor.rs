@@ -39,28 +39,22 @@ fn main() {
     for m in [1usize, 2, 4] {
         let neumann = MStepJacobiPreconditioner::neumann(&matrix, m).expect("neumann");
         let sn = pcg_solve(&matrix, &rhs, &neumann, &opts).expect("PCG");
-        println!(
-            "{m}-step Jacobi (truncated Neumann)    {:6}",
-            sn.iterations
-        );
+        println!("{m}-step Jacobi (truncated Neumann)    {:6}", sn.iterations);
     }
     for m in [2usize, 4] {
         let jmp = MStepJacobiPreconditioner::parametrized_jacobi(&matrix, m).expect("jmp");
         let sj = pcg_solve(&matrix, &rhs, &jmp, &opts).expect("PCG");
-        println!(
-            "{m}-step Jacobi (parametrized, JMP)    {:6}",
-            sj.iterations
-        );
+        println!("{m}-step Jacobi (parametrized, JMP)    {:6}", sj.iterations);
     }
     for m in [1usize, 2, 4] {
-        let ssor = MStepSsorPreconditioner::unparametrized(&matrix, &ordering.partition, m)
-            .expect("ssor");
+        let ssor =
+            MStepSsorPreconditioner::unparametrized(&matrix, &ordering.partition, m).expect("ssor");
         let ss = pcg_solve(&matrix, &rhs, &ssor, &opts).expect("PCG");
         println!("{m}-step red/black SSOR                {:6}", ss.iterations);
     }
     for m in [2usize, 4] {
-        let ssor = MStepSsorPreconditioner::parametrized(&matrix, &ordering.partition, m)
-            .expect("ssor");
+        let ssor =
+            MStepSsorPreconditioner::parametrized(&matrix, &ordering.partition, m).expect("ssor");
         let ss = pcg_solve(&matrix, &rhs, &ssor, &opts).expect("PCG");
         println!("{m}-step red/black SSOR (param)        {:6}", ss.iterations);
     }
@@ -75,8 +69,6 @@ fn main() {
         .zip(&problem.exact)
         .map(|(u, v)| (u - v).abs())
         .fold(0.0f64, f64::max);
-    println!(
-        "\nmax |u_h - u_exact| = {err:.3e} (stencil is exact for this polynomial solution)"
-    );
+    println!("\nmax |u_h - u_exact| = {err:.3e} (stencil is exact for this polynomial solution)");
     assert!(err < 1e-6, "solver error too large: {err}");
 }

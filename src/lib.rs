@@ -29,6 +29,35 @@
 //! let sol = pcg_solve(&ordered.matrix, &ordered.rhs, &pre, &PcgOptions::default()).unwrap();
 //! assert!(sol.converged);
 //! ```
+//!
+//! ## Performance
+//!
+//! The solver stack runs on a shared **data-parallel kernel layer** in
+//! `mspcg-sparse` (the `par` feature, on by default): CSR SpMV and the
+//! BLAS-1 reductions are row/chunk parallel, and the per-color row loops
+//! of the multicolor SSOR sweeps — the loops the paper identifies as
+//! embarrassingly parallel — run on a persistent `std::thread` worker
+//! pool. Three contracts hold throughout:
+//!
+//! * **Determinism** — chunk boundaries depend only on problem size and
+//!   reductions combine per-chunk partials in a fixed order, so results
+//!   are bitwise identical across thread counts and between the serial
+//!   and parallel paths (`tests/par_determinism.rs` asserts this for a
+//!   full PCG solve). Thread budget: hardware default, `MSPCG_THREADS`
+//!   env var, or `mspcg::sparse::par::set_max_threads`.
+//! * **Adaptive fallback** — small kernels run serially; a
+//!   `--no-default-features` build is strictly serial with identical
+//!   results.
+//! * **Zero-allocation hot loop** — `pcg_solve_into` with a reusable
+//!   `PcgWorkspace` performs no heap allocation per solve (verified by a
+//!   counting-allocator test over the ω sweep); `MulticolorSsor` shares
+//!   the matrix/partition via `Arc` instead of deep-cloning.
+//!
+//! Measure the kernels with
+//! `cargo bench -p mspcg-bench --bench spmv -- --json BENCH_pr1.json` and
+//! `… --bench precond -- --json BENCH_pr1.json` (serial vs parallel
+//! groups on a 512×512 red/black Poisson problem; committed reference
+//! numbers in `BENCH_pr1.json`).
 
 pub use mspcg_coloring as coloring;
 pub use mspcg_core as core;

@@ -1,0 +1,116 @@
+//! The zero-allocation contract of the PCG hot loop, verified with a
+//! counting global allocator: after a [`PcgWorkspace`] is constructed (and
+//! warmed once), repeated `pcg_solve_into` calls — the ω-sweep pattern —
+//! perform **no heap allocation at all**.
+
+use mspcg::coloring::Coloring;
+use mspcg::core::mstep::MStepSsorPreconditioner;
+use mspcg::core::pcg::{pcg_solve_into, PcgOptions, PcgWorkspace};
+use mspcg::sparse::{CooMatrix, CsrMatrix, Partition};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// System allocator with an allocation-event counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Red/black 1-D Laplacian in color-blocked form.
+fn rb_laplacian(n: usize) -> (CsrMatrix, Partition) {
+    let mut a = CooMatrix::new(n, n);
+    for i in 0..n {
+        a.push(i, i, 2.0).unwrap();
+        if i + 1 < n {
+            a.push_sym(i, i + 1, -1.0).unwrap();
+        }
+    }
+    let a = a.to_csr();
+    let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+    let ord = Coloring::from_labels(labels, 2).unwrap().ordering();
+    (ord.permute_matrix(&a).unwrap(), ord.partition)
+}
+
+#[test]
+fn omega_sweep_solves_allocate_nothing_after_workspace_construction() {
+    let n = 256usize;
+    let (a, p) = rb_laplacian(n);
+    let matrix = Arc::new(a);
+    let colors = Arc::new(p);
+    let rhs: Vec<f64> = (0..n)
+        .map(|i| ((i * 7 + 3) % 23) as f64 * 0.1 - 1.0)
+        .collect();
+    let opts = PcgOptions {
+        tol: 1e-9,
+        ..Default::default()
+    };
+
+    // Preconditioner construction allocates (splitting tables, coefficient
+    // vectors) — that is setup, not the hot loop.
+    let omegas = [0.6, 0.8, 1.0, 1.2, 1.4];
+    let pres: Vec<_> = omegas
+        .iter()
+        .map(|&w| {
+            MStepSsorPreconditioner::unparametrized_omega_shared(
+                Arc::clone(&matrix),
+                Arc::clone(&colors),
+                2,
+                w,
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let mut ws = PcgWorkspace::new(n);
+    let mut u = vec![0.0; n];
+
+    // Warm once (first call may fault in lazily initialized runtime state).
+    let warm = pcg_solve_into(&matrix, &rhs, &mut u, &pres[0], &opts, &mut ws).unwrap();
+    assert!(warm.converged);
+
+    let mut iteration_total = 0usize;
+    let before = allocation_count();
+    for pre in &pres {
+        u.fill(0.0);
+        let rep = pcg_solve_into(&matrix, &rhs, &mut u, pre, &opts, &mut ws).unwrap();
+        assert!(rep.converged);
+        iteration_total += rep.iterations;
+    }
+    let after = allocation_count();
+    assert!(iteration_total > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "PCG hot loop allocated {} time(s) across {} ω-sweep solves",
+        after - before,
+        omegas.len()
+    );
+}

@@ -29,7 +29,10 @@ fn cyber_times_are_u_shaped_in_m() {
         .unwrap()
         .0;
     assert!(best >= 1, "preconditioning should beat plain CG: {times:?}");
-    assert!(times[best] < times[0] * 0.8, "improvement too small: {times:?}");
+    assert!(
+        times[best] < times[0] * 0.8,
+        "improvement too small: {times:?}"
+    );
 }
 
 #[test]

@@ -28,11 +28,17 @@ fn all_preconditioners_reach_the_same_solution() {
     solutions.push(("cg", cg_solve(&ord.matrix, &ord.rhs, &o).unwrap().x));
     for m in [1usize, 2, 4] {
         let pre = MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m).unwrap();
-        solutions.push(("ssor", pcg_solve(&ord.matrix, &ord.rhs, &pre, &o).unwrap().x));
+        solutions.push((
+            "ssor",
+            pcg_solve(&ord.matrix, &ord.rhs, &pre, &o).unwrap().x,
+        ));
     }
     for m in [2usize, 3] {
         let pre = MStepSsorPreconditioner::parametrized(&ord.matrix, &ord.colors, m).unwrap();
-        solutions.push(("ssorP", pcg_solve(&ord.matrix, &ord.rhs, &pre, &o).unwrap().x));
+        solutions.push((
+            "ssorP",
+            pcg_solve(&ord.matrix, &ord.rhs, &pre, &o).unwrap().x,
+        ));
     }
     // Truncated Neumann (Jacobi) only with odd m: for this matrix
     // λ_max(D⁻¹K) > 2, so even-m Neumann is indefinite — the
@@ -40,7 +46,10 @@ fn all_preconditioners_reach_the_same_solution() {
     // detects that; `even_neumann_is_rejected_as_indefinite` below pins it.
     for m in [1usize, 3] {
         let jac = MStepJacobiPreconditioner::neumann(&ord.matrix, m).unwrap();
-        solutions.push(("jacobi", pcg_solve(&ord.matrix, &ord.rhs, &jac, &o).unwrap().x));
+        solutions.push((
+            "jacobi",
+            pcg_solve(&ord.matrix, &ord.rhs, &jac, &o).unwrap().x,
+        ));
     }
     for (name, x) in &solutions {
         let err = x
@@ -62,7 +71,10 @@ fn even_neumann_is_rejected_as_indefinite() {
     let jac = MStepJacobiPreconditioner::neumann(&ord.matrix, 2).unwrap();
     let err = pcg_solve(&ord.matrix, &ord.rhs, &jac, &opts(1e-10));
     assert!(
-        matches!(err, Err(mspcg::sparse::SparseError::NotPositiveDefinite { .. })),
+        matches!(
+            err,
+            Err(mspcg::sparse::SparseError::NotPositiveDefinite { .. })
+        ),
         "expected indefiniteness detection, got {err:?}"
     );
     // The parametrized constructor refuses to build it in the first place
@@ -146,7 +158,9 @@ fn larger_plates_need_more_iterations_without_preconditioning() {
     let iters = |a: usize| {
         let asm = PlaneStressProblem::unit_square(a).assemble().unwrap();
         let ord = asm.multicolor().unwrap();
-        cg_solve(&ord.matrix, &ord.rhs, &opts(1e-8)).unwrap().iterations
+        cg_solve(&ord.matrix, &ord.rhs, &opts(1e-8))
+            .unwrap()
+            .iterations
     };
     let i6 = iters(6);
     let i12 = iters(12);

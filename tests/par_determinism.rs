@@ -1,0 +1,126 @@
+//! The determinism contract of the data-parallel kernel layer, end to
+//! end: every kernel — BLAS-1 reductions, CSR SpMV, the multicolor SSOR
+//! sweeps, and a *complete* m-step SSOR PCG solve — must produce bitwise
+//! identical results for 1, 2, 4 and 8 worker threads, because chunk
+//! boundaries and reduction order depend only on the problem size.
+
+use mspcg::core::mstep::MStepSsorPreconditioner;
+use mspcg::core::pcg::{pcg_solve_into, PcgOptions, PcgWorkspace};
+use mspcg::core::splitting::Splitting;
+use mspcg::core::ssor::MulticolorSsor;
+use mspcg::fem::poisson::poisson5;
+use mspcg::sparse::{par, vecops, CsrMatrix, Partition};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The thread budget is process global; sweep one test at a time.
+fn sweep_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Color-blocked red/black Poisson system on an `n × n` grid.
+fn ordered_poisson(n: usize) -> (CsrMatrix, Partition, Vec<f64>) {
+    let p = poisson5(n).expect("poisson");
+    let ord = p.coloring.ordering();
+    let matrix = ord.permute_matrix(&p.matrix).expect("permute");
+    let rhs = ord.permutation.gather(&p.rhs);
+    (matrix, ord.partition, rhs)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn blas1_kernels_bitwise_across_thread_counts() {
+    let _guard = sweep_lock();
+    let n = 200_000usize;
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 37 + 11) % 1013) as f64 * 1e-3 - 0.5)
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| ((i * 53 + 5) % 911) as f64 * 1e-3 - 0.4)
+        .collect();
+
+    let before = par::max_threads();
+    par::set_max_threads(1);
+    let d1 = vecops::dot(&x, &y);
+    let n1 = vecops::norm2(&x);
+    let i1 = vecops::norm_inf(&y);
+    let mut ax1 = y.clone();
+    vecops::axpy(0.37, &x, &mut ax1);
+    let mut xb1 = y.clone();
+    vecops::xpby(&x, -0.83, &mut xb1);
+
+    for t in [2usize, 4, 8] {
+        par::set_max_threads(t);
+        assert_eq!(d1.to_bits(), vecops::dot(&x, &y).to_bits(), "dot, t = {t}");
+        assert_eq!(n1.to_bits(), vecops::norm2(&x).to_bits(), "norm2, t = {t}");
+        assert_eq!(
+            i1.to_bits(),
+            vecops::norm_inf(&y).to_bits(),
+            "norm_inf, t = {t}"
+        );
+        let mut ax = y.clone();
+        vecops::axpy(0.37, &x, &mut ax);
+        assert_eq!(bits(&ax1), bits(&ax), "axpy, t = {t}");
+        let mut xb = y.clone();
+        vecops::xpby(&x, -0.83, &mut xb);
+        assert_eq!(bits(&xb1), bits(&xb), "xpby, t = {t}");
+    }
+    par::set_max_threads(before);
+}
+
+#[test]
+fn spmv_and_ssor_sweeps_bitwise_across_thread_counts() {
+    let _guard = sweep_lock();
+    let (matrix, colors, rhs) = ordered_poisson(192); // 36 864 unknowns
+    let ssor = MulticolorSsor::new(matrix.clone(), colors, 1.0).unwrap();
+    let alphas = [1.0, 0.8, 1.1];
+
+    let before = par::max_threads();
+    par::set_max_threads(1);
+    let spmv1 = matrix.mul_vec(&rhs);
+    let mut z1 = vec![0.0; matrix.rows()];
+    ssor.msolve(&alphas, &rhs, &mut z1);
+
+    for t in [2usize, 4, 8] {
+        par::set_max_threads(t);
+        assert_eq!(bits(&spmv1), bits(&matrix.mul_vec(&rhs)), "spmv, t = {t}");
+        let mut zt = vec![0.0; matrix.rows()];
+        ssor.msolve(&alphas, &rhs, &mut zt);
+        assert_eq!(bits(&z1), bits(&zt), "msolve, t = {t}");
+    }
+    par::set_max_threads(before);
+}
+
+#[test]
+fn full_pcg_solve_bitwise_across_thread_counts() {
+    let _guard = sweep_lock();
+    let (matrix, colors, rhs) = ordered_poisson(128); // 16 384 unknowns
+    let pre = MStepSsorPreconditioner::unparametrized(&matrix, &colors, 2).unwrap();
+    let opts = PcgOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
+
+    let mut ws = PcgWorkspace::new(matrix.rows());
+    let solve = |ws: &mut PcgWorkspace| {
+        let mut u = vec![0.0; matrix.rows()];
+        let rep = pcg_solve_into(&matrix, &rhs, &mut u, &pre, &opts, ws).unwrap();
+        (u, rep.iterations)
+    };
+
+    let before = par::max_threads();
+    par::set_max_threads(1);
+    let (u1, it1) = solve(&mut ws);
+    for t in [2usize, 4, 8] {
+        par::set_max_threads(t);
+        let (ut, itt) = solve(&mut ws);
+        assert_eq!(it1, itt, "iteration count differs at t = {t}");
+        assert_eq!(bits(&u1), bits(&ut), "solution differs at t = {t}");
+    }
+    par::set_max_threads(before);
+}

@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! reproduction: sparse-format round trips, coloring validity, SPD
-//! preservation, preconditioner symmetry and solver correctness on
-//! randomly generated diagonally-dominant SPD systems.
+//! Property-based tests over the core invariants of the reproduction:
+//! sparse-format round trips, coloring validity, SPD preservation,
+//! preconditioner symmetry and solver correctness on randomly generated
+//! diagonally-dominant SPD systems.
+//!
+//! The container has no property-testing framework, so the tests drive a
+//! deterministic xorshift case generator: each property runs over a fixed
+//! set of pseudo-random configurations (sizes, densities, seeds), which
+//! keeps failures reproducible by construction.
 
 use mspcg::coloring::{greedy_coloring, GreedyStrategy};
 use mspcg::core::coeffs::{least_squares_alphas, residual_sup, spd_margin, Weight};
@@ -9,44 +14,62 @@ use mspcg::core::mstep::MStepSsorPreconditioner;
 use mspcg::core::pcg::{pcg_solve, PcgOptions, StoppingCriterion};
 use mspcg::core::preconditioner::Preconditioner;
 use mspcg::sparse::{CooMatrix, CsrMatrix, DiaMatrix, Permutation};
-use proptest::prelude::*;
+
+/// Cases per property (matches the old proptest configuration).
+const CASES: u64 = 24;
+
+/// Deterministic xorshift64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform draw from `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
 
 /// Random sparse symmetric strictly-diagonally-dominant (hence SPD)
 /// matrix of order `n` with roughly `extra` off-diagonal pairs.
 fn random_spd(n: usize, extra: usize, seed: u64) -> CsrMatrix {
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
+    let mut rng = Rng::new(seed);
     let mut coo = CooMatrix::new(n, n);
     let mut row_sums = vec![0.0f64; n];
     for _ in 0..extra {
-        let i = (next() % n as u64) as usize;
-        let j = (next() % n as u64) as usize;
+        let i = rng.range(0, n);
+        let j = rng.range(0, n);
         if i == j {
             continue;
         }
-        let v = -1.0 - (next() % 100) as f64 / 50.0;
+        let v = -1.0 - (rng.next() % 100) as f64 / 50.0;
         coo.push_sym(i, j, v).unwrap();
         row_sums[i] += v.abs();
         row_sums[j] += v.abs();
     }
     for (i, &rs) in row_sums.iter().enumerate() {
-        coo.push(i, i, rs * 2.0 + 1.0 + (next() % 7) as f64 * 0.3)
+        coo.push(i, i, rs * 2.0 + 1.0 + (rng.next() % 7) as f64 * 0.3)
             .unwrap();
     }
     coo.to_csr()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn csr_round_trips_through_dense(n in 2usize..12, extra in 0usize..30, seed in 1u64..5000) {
-        let a = random_spd(n, extra, seed);
+#[test]
+fn csr_round_trips_through_dense() {
+    let mut rng = Rng::new(1);
+    for case in 0..CASES {
+        let n = rng.range(2, 12);
+        let extra = rng.range(0, 30);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
         let d = a.to_dense();
         let mut coo = CooMatrix::new(n, n);
         for i in 0..n {
@@ -56,32 +79,39 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(coo.to_csr(), a);
+        assert_eq!(coo.to_csr(), a, "case {case}");
     }
+}
 
-    #[test]
-    fn dia_spmv_equals_csr_spmv(n in 2usize..16, extra in 0usize..40, seed in 1u64..5000) {
-        let a = random_spd(n, extra, seed);
+#[test]
+fn dia_spmv_equals_csr_spmv() {
+    let mut rng = Rng::new(2);
+    for case in 0..CASES {
+        let n = rng.range(2, 16);
+        let extra = rng.range(0, 40);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
         let dia = DiaMatrix::from_csr(&a);
         let x: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 11) as f64 - 5.0).collect();
         let y1 = a.mul_vec(&x);
         let y2 = dia.mul_vec(&x);
         for (u, v) in y1.iter().zip(&y2) {
-            prop_assert!((u - v).abs() < 1e-12);
+            assert!((u - v).abs() < 1e-12, "case {case}: {u} vs {v}");
         }
     }
+}
 
-    #[test]
-    fn symmetric_permutation_preserves_quadratic_form(
-        n in 2usize..10, extra in 0usize..25, seed in 1u64..5000, pseed in 1u64..1000
-    ) {
-        let a = random_spd(n, extra, seed);
+#[test]
+fn symmetric_permutation_preserves_quadratic_form() {
+    let mut rng = Rng::new(3);
+    for case in 0..CASES {
+        let n = rng.range(2, 10);
+        let extra = rng.range(0, 25);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
         // Random permutation via seeded shuffle.
         let mut order: Vec<usize> = (0..n).collect();
-        let mut s = pseed;
         for i in (1..n).rev() {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            order.swap(i, (s % (i as u64 + 1)) as usize);
+            let j = rng.range(0, i + 1);
+            order.swap(i, j);
         }
         let p = Permutation::from_new_to_old(order).unwrap();
         let b = a.permute_sym(&p).unwrap();
@@ -89,50 +119,76 @@ proptest! {
         let px = p.gather(&x);
         let qa: f64 = x.iter().zip(&a.mul_vec(&x)).map(|(u, v)| u * v).sum();
         let qb: f64 = px.iter().zip(&b.mul_vec(&px)).map(|(u, v)| u * v).sum();
-        prop_assert!((qa - qb).abs() < 1e-10 * qa.abs().max(1.0));
+        assert!(
+            (qa - qb).abs() < 1e-10 * qa.abs().max(1.0),
+            "case {case}: {qa} vs {qb}"
+        );
     }
+}
 
-    #[test]
-    fn greedy_coloring_is_always_valid(n in 2usize..20, extra in 0usize..60, seed in 1u64..5000) {
-        let a = random_spd(n, extra, seed);
-        for strategy in [GreedyStrategy::Natural, GreedyStrategy::LargestDegreeFirst, GreedyStrategy::SmallestDegreeLast] {
+#[test]
+fn greedy_coloring_is_always_valid() {
+    let mut rng = Rng::new(4);
+    for case in 0..CASES {
+        let n = rng.range(2, 20);
+        let extra = rng.range(0, 60);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
+        for strategy in [
+            GreedyStrategy::Natural,
+            GreedyStrategy::LargestDegreeFirst,
+            GreedyStrategy::SmallestDegreeLast,
+        ] {
             let c = greedy_coloring(&a, strategy).unwrap();
-            prop_assert!(c.verify_for(&a).is_ok());
+            assert!(c.verify_for(&a).is_ok(), "case {case}, {strategy:?}");
         }
     }
+}
 
-    #[test]
-    fn multicolor_mstep_pcg_solves_random_spd(
-        n in 4usize..24, extra in 2usize..50, seed in 1u64..5000, m in 1usize..4
-    ) {
-        let a = random_spd(n, extra, seed);
+#[test]
+fn multicolor_mstep_pcg_solves_random_spd() {
+    let mut rng = Rng::new(5);
+    for case in 0..CASES {
+        let n = rng.range(4, 24);
+        let extra = rng.range(2, 50);
+        let m = rng.range(1, 4);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
         let coloring = greedy_coloring(&a, GreedyStrategy::Natural).unwrap();
         let ord = coloring.ordering();
         let b = ord.permute_matrix(&a).unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
         let rhs = b.mul_vec(&x_true);
         let pre = MStepSsorPreconditioner::unparametrized(&b, &ord.partition, m).unwrap();
-        let sol = pcg_solve(&b, &rhs, &pre, &PcgOptions {
-            tol: 1e-12,
-            criterion: StoppingCriterion::RelativeResidual,
-            ..Default::default()
-        }).unwrap();
-        prop_assert!(sol.converged);
+        let sol = pcg_solve(
+            &b,
+            &rhs,
+            &pre,
+            &PcgOptions {
+                tol: 1e-12,
+                criterion: StoppingCriterion::RelativeResidual,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(sol.converged, "case {case}");
         for (u, v) in sol.x.iter().zip(&x_true) {
-            prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+            assert!((u - v).abs() < 1e-6, "case {case}: {u} vs {v}");
         }
     }
+}
 
-    #[test]
-    fn mstep_preconditioner_is_symmetric_operator(
-        n in 3usize..12, extra in 2usize..25, seed in 1u64..5000, m in 1usize..5
-    ) {
-        let a = random_spd(n, extra, seed);
+#[test]
+fn mstep_preconditioner_is_symmetric_operator() {
+    let mut rng = Rng::new(6);
+    for case in 0..CASES {
+        let n = rng.range(3, 12);
+        let extra = rng.range(2, 25);
+        let m = rng.range(1, 5);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
         let coloring = greedy_coloring(&a, GreedyStrategy::Natural).unwrap();
         let ord = coloring.ordering();
         let b = ord.permute_matrix(&a).unwrap();
         let pre = MStepSsorPreconditioner::unparametrized(&b, &ord.partition, m).unwrap();
-        // Check (M⁻¹eᵢ)ⱼ == (M⁻¹eⱼ)ᵢ for a few index pairs.
+        // Check (M⁻¹eᵢ)ⱼ == (M⁻¹eⱼ)ᵢ for the extreme index pair.
         let n = b.rows();
         let apply = |j: usize| {
             let mut e = vec![0.0; n];
@@ -143,31 +199,57 @@ proptest! {
         };
         let z0 = apply(0);
         let zl = apply(n - 1);
-        prop_assert!((z0[n - 1] - zl[0]).abs() < 1e-10);
+        assert!(
+            (z0[n - 1] - zl[0]).abs() < 1e-10,
+            "case {case}: {} vs {}",
+            z0[n - 1],
+            zl[0]
+        );
     }
+}
 
-    #[test]
-    fn least_squares_residual_improves_with_m(lo in 0.01f64..0.5, m in 2usize..7) {
+#[test]
+fn least_squares_residual_improves_with_m() {
+    let mut rng = Rng::new(7);
+    for case in 0..CASES {
+        let lo = 0.01 + (rng.next() % 490) as f64 * 1e-3; // 0.01..0.5
+        let m = rng.range(2, 7);
         let interval = (lo, 1.0);
         let a_small = least_squares_alphas(m - 1, interval, Weight::Uniform).unwrap();
         let a_large = least_squares_alphas(m, interval, Weight::Uniform).unwrap();
         // The sup-norm proxy should not get (much) worse with higher degree.
-        prop_assert!(residual_sup(&a_large, interval) <= residual_sup(&a_small, interval) * 1.01);
-        prop_assert!(spd_margin(&a_large, interval) > 0.0);
+        assert!(
+            residual_sup(&a_large, interval) <= residual_sup(&a_small, interval) * 1.01,
+            "case {case} (lo = {lo}, m = {m})"
+        );
+        assert!(spd_margin(&a_large, interval) > 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn pcg_iterations_bounded_by_dimension(
-        n in 3usize..16, extra in 0usize..30, seed in 1u64..5000
-    ) {
+#[test]
+fn pcg_iterations_bounded_by_dimension() {
+    let mut rng = Rng::new(8);
+    for case in 0..CASES {
+        let n = rng.range(3, 16);
+        let extra = rng.range(0, 30);
         // Exact-arithmetic CG terminates in ≤ n steps; allow rounding slack.
-        let a = random_spd(n, extra, seed);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
         let rhs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).recip()).collect();
-        let sol = mspcg::core::pcg::cg_solve(&a, &rhs, &PcgOptions {
-            tol: 1e-10,
-            criterion: StoppingCriterion::RelativeResidual,
-            ..Default::default()
-        }).unwrap();
-        prop_assert!(sol.iterations <= 3 * n + 10, "{} iterations for n = {}", sol.iterations, n);
+        let sol = mspcg::core::pcg::cg_solve(
+            &a,
+            &rhs,
+            &PcgOptions {
+                tol: 1e-10,
+                criterion: StoppingCriterion::RelativeResidual,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            sol.iterations <= 3 * n + 10,
+            "case {case}: {} iterations for n = {}",
+            sol.iterations,
+            n
+        );
     }
 }
