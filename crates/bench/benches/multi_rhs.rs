@@ -1,0 +1,127 @@
+//! Bench for PR 2's two hot paths:
+//!
+//! (a) **fused vs unfused per-iteration vector work** — the CG update
+//!     (`u += αp`, `r −= α·Kp`, `‖p‖∞`, `‖r‖∞`) and the direction update
+//!     + dot, as four separate sweeps vs one fused kernel, on
+//!     512×512-Poisson-sized vectors (262 144 elements);
+//! (b) **batched multi-RHS solves** — 32 load cases against one plate
+//!     stiffness matrix via `pcg_solve_multi` (RHS-level parallelism on a
+//!     small plate, kernel-level on a large one) vs the same 32 solves
+//!     issued sequentially through `pcg_solve_into`.
+//!
+//! Record results: `cargo bench -p mspcg-bench --bench multi_rhs -- --json
+//! BENCH_pr2.json`.
+
+use mspcg_bench::experiments::ordered_plate;
+use mspcg_bench::timing::{bench, finish, BenchResult};
+use mspcg_core::{
+    pcg_solve_into, pcg_solve_multi, MStepSsorPreconditioner, MultiRhsWorkspace, PcgOptions,
+    PcgWorkspace,
+};
+use mspcg_sparse::{par, vecops};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N_VEC: usize = 512 * 512;
+const N_CASES: usize = 32;
+
+fn bench_fused_vs_unfused(results: &mut Vec<BenchResult>) {
+    let p: Vec<f64> = (0..N_VEC)
+        .map(|i| ((i * 31 + 7) % 1013) as f64 * 1e-3 - 0.5)
+        .collect();
+    let kp: Vec<f64> = (0..N_VEC)
+        .map(|i| ((i * 43 + 3) % 977) as f64 * 1e-3 - 0.45)
+        .collect();
+    let mut u = vec![0.0f64; N_VEC];
+    let mut r = vec![1.0f64; N_VEC];
+    let alpha = 0.8125;
+
+    // The per-iteration update as pcg_solve_into performed it before the
+    // fusion: four separate sweeps over the vectors.
+    results.push(bench("pcg_iteration_update", "unfused", || {
+        vecops::axpy(alpha, black_box(&p), black_box(&mut u));
+        let pn = vecops::norm_inf(black_box(&p));
+        vecops::axpy(-alpha, black_box(&kp), black_box(&mut r));
+        let rn = vecops::norm_inf(black_box(&r));
+        black_box((pn, rn));
+    }));
+    results.push(bench("pcg_iteration_update", "fused", || {
+        let norms =
+            vecops::fused_axpy_axpy_norm(alpha, black_box(&p), black_box(&kp), &mut u, &mut r);
+        black_box(norms);
+    }));
+
+    let mut y = vec![0.5f64; N_VEC];
+    results.push(bench("pcg_direction_dot", "unfused", || {
+        vecops::xpby(black_box(&p), 0.37, black_box(&mut y));
+        black_box(vecops::dot(black_box(&y), black_box(&kp)));
+    }));
+    results.push(bench("pcg_direction_dot", "fused", || {
+        black_box(vecops::fused_xpby_dot(
+            black_box(&p),
+            0.37,
+            &mut y,
+            black_box(&kp),
+        ));
+    }));
+}
+
+/// 32 load cases: the assembled plate load scaled per case.
+fn load_cases(rhs: &[f64]) -> Vec<f64> {
+    (0..N_CASES)
+        .flat_map(|j| {
+            let scale = 1.0 + 0.1 * j as f64;
+            rhs.iter().map(move |v| v * scale)
+        })
+        .collect()
+}
+
+fn bench_multi_rhs(results: &mut Vec<BenchResult>, a: usize, regime: &str) {
+    let (_, ord) = ordered_plate(a).expect("plate");
+    let n = ord.matrix.rows();
+    let matrix = Arc::new(ord.matrix);
+    let colors = Arc::new(ord.colors);
+    let pre =
+        MStepSsorPreconditioner::unparametrized_shared(Arc::clone(&matrix), Arc::clone(&colors), 2)
+            .expect("preconditioner");
+    let opts = PcgOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
+    let f = load_cases(&ord.rhs);
+    let mut u = vec![0.0; N_CASES * n];
+
+    let mut single_ws = PcgWorkspace::new(n);
+    results.push(bench(
+        &format!("multi_rhs_plate{a}_{regime}"),
+        "sequential_into",
+        || {
+            for i in 0..N_CASES {
+                let (fi, ui) = (&f[i * n..(i + 1) * n], &mut u[i * n..(i + 1) * n]);
+                ui.fill(0.0);
+                pcg_solve_into(&matrix, fi, ui, &pre, &opts, &mut single_ws).expect("solve");
+            }
+        },
+    ));
+
+    let mut ws = MultiRhsWorkspace::new(n, N_CASES);
+    results.push(bench(
+        &format!("multi_rhs_plate{a}_{regime}"),
+        &format!("batch_par{}", par::max_threads()),
+        || {
+            u.fill(0.0);
+            pcg_solve_multi(&matrix, &f, &mut u, &pre, &opts, &mut ws).expect("batch");
+        },
+    ));
+}
+
+fn main() {
+    let mut results = Vec::new();
+    bench_fused_vs_unfused(&mut results);
+    // Small plate: below the kernel-parallel nnz threshold, so the batch
+    // distributes whole right-hand sides across the pool.
+    bench_multi_rhs(&mut results, 20, "rhs_level");
+    // Large plate: kernels fan out instead, RHS stay sequential.
+    bench_multi_rhs(&mut results, 60, "kernel_level");
+    finish(&results);
+}

@@ -12,7 +12,10 @@
 //! ```
 //!
 //! * [`pcg`] — Algorithm 1, generic over [`preconditioner::Preconditioner`],
-//!   with the paper's `‖u^{k+1} − u^k‖∞ < ε` stopping test,
+//!   with the paper's `‖u^{k+1} − u^k‖∞ < ε` stopping test, running on the
+//!   fused one-pass update kernels of `mspcg_sparse::vecops`,
+//! * [`multi`] — batched multi-RHS solves (many load cases on one
+//!   stiffness matrix) over shared matrix/preconditioner handles,
 //! * [`splitting`] — the [`splitting::Splitting`] abstraction plus Jacobi
 //!   and natural-order SSOR splittings,
 //! * [`ssor`] — the multicolor block SSOR splitting with the
@@ -37,6 +40,7 @@ pub mod analysis;
 pub mod coeffs;
 pub mod ic;
 pub mod mstep;
+pub mod multi;
 pub mod pcg;
 pub mod preconditioner;
 pub mod quadrature;
@@ -46,9 +50,10 @@ pub mod ssor;
 pub use coeffs::{least_squares_alphas, minimax_alphas, Weight};
 pub use ic::IncompleteCholesky;
 pub use mstep::{MStep, MStepJacobiPreconditioner, MStepSsorPreconditioner};
+pub use multi::{pcg_solve_multi, MultiRhsSummary, MultiRhsWorkspace, RhsOutcome, SolveStatus};
 pub use pcg::{
-    cg_solve, pcg_solve, pcg_solve_into, PcgOptions, PcgReport, PcgSolution, PcgWorkspace,
-    StoppingCriterion,
+    cg_solve, pcg_solve, pcg_solve_into, pcg_try_solve_into, PcgOptions, PcgReport, PcgSolution,
+    PcgWorkspace, StoppingCriterion,
 };
 pub use preconditioner::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};
 pub use splitting::{JacobiSplitting, NaturalSsorSplitting, Splitting};

@@ -140,6 +140,14 @@ impl<S: Splitting> Preconditioner for MStep<S> {
     fn steps_per_apply(&self) -> usize {
         self.alphas.len()
     }
+
+    fn scratch_len(&self) -> usize {
+        self.splitting.msolve_scratch_len()
+    }
+
+    fn apply_with(&self, r: &[f64], z: &mut [f64], scratch: &mut [f64]) {
+        self.splitting.msolve_with(&self.alphas, r, z, scratch);
+    }
 }
 
 /// The paper's headline configuration: m-step **multicolor SSOR** PCG.

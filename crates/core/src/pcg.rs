@@ -128,6 +128,10 @@ pub struct PcgWorkspace {
     rhat: Vec<f64>,
     p: Vec<f64>,
     kp: Vec<f64>,
+    /// Preconditioner scratch (sized on first use from
+    /// [`Preconditioner::scratch_len`]); lets the hot loop call
+    /// [`Preconditioner::apply_with`], bypassing any internal lock.
+    precond_scratch: Vec<f64>,
     history: Vec<f64>,
 }
 
@@ -139,6 +143,7 @@ impl PcgWorkspace {
             rhat: vec![0.0; n],
             p: vec![0.0; n],
             kp: vec![0.0; n],
+            precond_scratch: Vec::new(),
             history: Vec::new(),
         }
     }
@@ -239,18 +244,55 @@ pub fn pcg_solve_from(
 /// in `ws`.
 ///
 /// This is the zero-allocation entry point: after `ws` is constructed (and
-/// sized for `k`), the iteration loop performs **no heap allocation** —
-/// the SpMV, the preconditioner application, both inner products and all
-/// vector updates run in place. Reusing one workspace across a parameter
-/// sweep (ω scans, m sweeps, repeated right-hand sides) therefore costs
-/// zero allocator traffic per solve, and two consecutive calls with the
-/// same inputs produce bitwise-identical results.
+/// sized for `k` and the preconditioner), the iteration loop performs
+/// **no heap allocation** — the SpMV, the preconditioner application, both
+/// inner products and all vector updates run in place. Reusing one
+/// workspace across a parameter sweep (ω scans, m sweeps, repeated
+/// right-hand sides) therefore costs zero allocator traffic per solve, and
+/// two consecutive calls with the same inputs produce bitwise-identical
+/// results.
+///
+/// The iteration body runs on **fused kernels**
+/// ([`vecops::fused_axpy_axpy_norm`], [`vecops::fused_xpby_dot`],
+/// [`vecops::norm2_with_max`]): the `u`/`r` updates and the stopping-test
+/// reduction partials are computed in a single pass per iteration instead
+/// of three to four, with bitwise-identical results to the unfused
+/// kernel sequence (`tests/par_determinism.rs`).
 ///
 /// An undersized workspace is resized on entry (that path allocates once).
 ///
 /// # Errors
 /// Same classes as [`pcg_solve`].
 pub fn pcg_solve_into(
+    k: &CsrMatrix,
+    f: &[f64],
+    u: &mut [f64],
+    m: &impl Preconditioner,
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> Result<PcgReport, SparseError> {
+    let rep = pcg_try_solve_into(k, f, u, m, opts, ws)?;
+    if rep.converged {
+        Ok(rep)
+    } else {
+        Err(SparseError::DidNotConverge {
+            iterations: rep.iterations,
+            residual: rep.final_relative_residual,
+        })
+    }
+}
+
+/// [`pcg_solve_into`] with budget exhaustion reported as **data** instead
+/// of an error: the returned report has `converged == false` and carries
+/// the *true* final relative residual `‖f − K·u‖₂ / ‖f‖₂`, recomputed
+/// from the exit iterate rather than read from the recursively updated
+/// in-loop residual (which drifts from the true one). Batched callers
+/// ([`crate::multi::pcg_solve_multi`]) use this so one stubborn
+/// right-hand side cannot abort a whole batch.
+///
+/// # Errors
+/// Shape violations and inner-product breakdowns only.
+pub fn pcg_try_solve_into(
     k: &CsrMatrix,
     f: &[f64],
     u: &mut [f64],
@@ -274,6 +316,9 @@ pub fn pcg_solve_into(
     if ws.dim() != n {
         ws.resize(n);
     }
+    if ws.precond_scratch.len() != m.scratch_len() {
+        ws.precond_scratch.resize(m.scratch_len(), 0.0);
+    }
     ws.history.clear();
 
     let mut stats = PcgStats::default();
@@ -282,12 +327,16 @@ pub fn pcg_solve_into(
         rhat,
         p,
         kp,
+        precond_scratch,
         history,
     } = ws;
 
     let f_norm = vecops::norm2(f);
-    if f_norm == 0.0 && u.iter().all(|&v| v == 0.0) {
-        // Trivial system: the zero vector is exact.
+    if f_norm == 0.0 {
+        // Trivial system: for SPD `K`, `K u = 0` has exactly the zero
+        // solution. Write it — returning with `u` untouched would hand a
+        // warm-started caller back its stale guess as "the solution".
+        vecops::zero(u);
         return Ok(PcgReport {
             iterations: 0,
             converged: true,
@@ -302,13 +351,13 @@ pub fn pcg_solve_into(
     k.mul_vec_axpy(-1.0, u, r);
     stats.spmv += 1;
 
-    m.apply(r, rhat);
+    m.apply_with(r, rhat, precond_scratch);
     stats.precond_applications += 1;
     stats.precond_steps += m.steps_per_apply();
 
-    vecops::copy(rhat, p);
-
-    let mut rz = vecops::dot(rhat, r);
+    // p⁰ ← r̂⁰ and rz₀ = (r̂⁰, r⁰) in one fused pass (b = 0 is an exact
+    // copy, so stale workspace contents in p cannot leak).
+    let mut rz = vecops::fused_xpby_dot(rhat, 0.0, p, r);
     stats.inner_products += 1;
     if rz < 0.0 {
         return Err(SparseError::NotPositiveDefinite {
@@ -336,23 +385,24 @@ pub fn pcg_solve_into(
         }
         completed = iter;
         let alpha = rz / denom;
-        vecops::axpy(alpha, p, u);
+        // One fused pass: u += αp, r −= α·Kp, and the ‖p‖∞ / ‖r‖∞
+        // partials for both stopping tests.
+        let norms = vecops::fused_axpy_axpy_norm(alpha, p, kp, u, r);
         // ‖u^{k+1} − uᵏ‖∞ = |α|·‖p‖∞ — no extra vector needed.
-        change = alpha.abs() * vecops::norm_inf(p);
-        vecops::axpy(-alpha, kp, r);
+        change = alpha.abs() * norms.p_norm_inf;
 
         let crit_value = match opts.criterion {
             StoppingCriterion::DisplacementChange => change,
             StoppingCriterion::RelativeResidual => {
                 stats.inner_products += 1;
-                vecops::norm2(r) / f_norm.max(1e-300)
+                vecops::norm2_with_max(r, norms.r_norm_inf) / f_norm.max(1e-300)
             }
         };
         if opts.record_history {
             history.push(crit_value);
         }
         if crit_value < opts.tol {
-            let final_rel = vecops::norm2(r) / f_norm.max(1e-300);
+            let final_rel = vecops::norm2_with_max(r, norms.r_norm_inf) / f_norm.max(1e-300);
             return Ok(PcgReport {
                 iterations: iter,
                 converged: true,
@@ -362,7 +412,7 @@ pub fn pcg_solve_into(
             });
         }
 
-        m.apply(r, rhat);
+        m.apply_with(r, rhat, precond_scratch);
         stats.precond_applications += 1;
         stats.precond_steps += m.steps_per_apply();
         let rz_new = vecops::dot(rhat, r);
@@ -378,20 +428,32 @@ pub fn pcg_solve_into(
         vecops::xpby(rhat, beta, p);
     }
 
+    // Exit without the stopping test having fired: recompute the TRUE
+    // residual f − K·u from the exit iterate. The recursively updated
+    // in-loop `r` drifts from it over many iterations, so reporting its
+    // norm would overstate (or understate) how close the returned iterate
+    // actually is.
+    vecops::copy(f, r);
+    k.mul_vec_axpy(-1.0, u, r);
+    stats.spmv += 1;
     let final_rel = vecops::norm2(r) / f_norm.max(1e-300);
-    // rz == 0 exact-breakdown exit lands here with converged status.
-    if rz == 0.0 || change < opts.tol {
-        return Ok(PcgReport {
-            iterations: completed,
-            converged: true,
-            final_change: change,
-            final_relative_residual: final_rel,
-            stats,
-        });
-    }
-    Err(SparseError::DidNotConverge {
-        iterations: opts.max_iterations,
-        residual: final_rel,
+    // rz == 0 exact-breakdown exit lands here with converged status. The
+    // `change < tol` arm is meaningful only for the displacement test:
+    // under RelativeResidual a sub-tolerance *step size* says nothing
+    // about the residual the caller asked to bound (a stagnating solve
+    // must not be reported as converged).
+    let converged =
+        rz == 0.0 || (opts.criterion == StoppingCriterion::DisplacementChange && change < opts.tol);
+    Ok(PcgReport {
+        iterations: if converged {
+            completed
+        } else {
+            opts.max_iterations
+        },
+        converged,
+        final_change: change,
+        final_relative_residual: final_rel,
+        stats,
     })
 }
 
@@ -535,6 +597,43 @@ mod tests {
     }
 
     #[test]
+    fn tiny_step_does_not_fake_residual_convergence() {
+        // A stiff system takes a sub-tolerance *step* in its first
+        // iteration while the relative residual is still enormous; under
+        // the RelativeResidual criterion the budget exit must not promote
+        // that step size to "converged".
+        let mut a = laplacian(50);
+        for v in a.values_mut() {
+            *v *= 1e6;
+        }
+        let b = vec![1.0; 50];
+        let opts = PcgOptions {
+            tol: 1e-3,
+            max_iterations: 1,
+            criterion: StoppingCriterion::RelativeResidual,
+            ..Default::default()
+        };
+        let mut ws = PcgWorkspace::new(50);
+        let mut u = vec![0.0; 50];
+        let rep = pcg_try_solve_into(
+            &a,
+            &b,
+            &mut u,
+            &IdentityPreconditioner::new(50),
+            &opts,
+            &mut ws,
+        )
+        .unwrap();
+        assert!(
+            rep.final_change < opts.tol,
+            "test premise: step below tol, got {}",
+            rep.final_change
+        );
+        assert!(rep.final_relative_residual > opts.tol);
+        assert!(!rep.converged, "step size must not fake convergence");
+    }
+
+    #[test]
     fn budget_exhaustion_is_reported() {
         let a = laplacian(50);
         let b = vec![1.0; 50];
@@ -564,7 +663,9 @@ mod tests {
             sol.stats.inner_products,
             sol.iterations
         );
-        assert!(sol.stats.spmv >= sol.iterations && sol.stats.spmv <= sol.iterations + 2);
+        // + initial residual, + an exact-breakdown probe, + the true-residual
+        // recompute on the breakdown exit path.
+        assert!(sol.stats.spmv >= sol.iterations && sol.stats.spmv <= sol.iterations + 3);
     }
 
     #[test]

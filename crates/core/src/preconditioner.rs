@@ -26,6 +26,23 @@ pub trait Preconditioner {
     fn steps_per_apply(&self) -> usize {
         1
     }
+
+    /// Length of the caller-provided scratch [`Preconditioner::apply_with`]
+    /// needs; `0` when the implementation keeps no per-apply state.
+    fn scratch_len(&self) -> usize {
+        0
+    }
+
+    /// Solve `M z = r` with caller-owned scratch of length
+    /// [`Preconditioner::scratch_len`]. Numerically identical to
+    /// [`Preconditioner::apply`], but implementations with internal locked
+    /// buffers (the multicolor SSOR half-sum cache) use the scratch
+    /// instead, so concurrent solves sharing one preconditioner — the
+    /// batched multi-RHS workload — never serialize on a lock. The default
+    /// ignores the scratch.
+    fn apply_with(&self, r: &[f64], z: &mut [f64], _scratch: &mut [f64]) {
+        self.apply(r, z);
+    }
 }
 
 /// `M = I`: plain conjugate gradients.

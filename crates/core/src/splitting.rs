@@ -48,6 +48,21 @@ pub trait Splitting {
         }
     }
 
+    /// Length of the caller-provided scratch [`Splitting::msolve_with`]
+    /// needs; `0` when the splitting keeps no per-solve state.
+    fn msolve_scratch_len(&self) -> usize {
+        0
+    }
+
+    /// [`Splitting::msolve`] with caller-owned scratch of length
+    /// [`Splitting::msolve_scratch_len`], so several solves over one
+    /// shared splitting (the batched multi-RHS workload) can run
+    /// concurrently without contending on internal locked buffers.
+    /// Numerically identical to `msolve`. The default ignores the scratch.
+    fn msolve_with(&self, alphas: &[f64], r: &[f64], z: &mut [f64], _scratch: &mut [f64]) {
+        self.msolve(alphas, r, z);
+    }
+
     /// Estimated interval `[λ₁, λₙ]` containing the spectrum of `P⁻¹K`.
     ///
     /// Default: power iteration for `ρ(G)` and the generic bracket

@@ -444,14 +444,36 @@ impl Splitting for MulticolorSsor {
     /// `α_{m−s}` on the right-hand side (the final backward color-1 update
     /// runs with `α₀`, which is the paper's trailing step (3)). The
     /// `r̂ = 0`, `y = 0` start is fused into the first forward sweep — no
-    /// zero-fill passes, each color block swept once per step.
+    /// zero-fill passes, each color block swept once per step. This entry
+    /// point borrows the internal mutex-guarded cache; concurrent callers
+    /// sharing one splitting should use [`Splitting::msolve_with`].
     fn msolve(&self, alphas: &[f64], r: &[f64], z: &mut [f64]) {
+        let mut y = self.y.lock().unwrap_or_else(|e| e.into_inner());
+        self.msolve_with(alphas, r, z, y.as_mut_slice());
+    }
+
+    /// The Conrad–Wallach half-sum cache: one `f64` per unknown.
+    fn msolve_scratch_len(&self) -> usize {
+        self.dim()
+    }
+
+    /// Algorithm 2 with a **caller-owned** half-sum cache instead of the
+    /// internal mutex-guarded one, so concurrent solves sharing one
+    /// splitting (the batched multi-RHS workload) never serialize on a
+    /// lock. Numerically identical to [`Splitting::msolve`]; the cache
+    /// contents on entry are irrelevant (the `w₀ = 0` start is fused into
+    /// the first forward sweep, which writes the cache before reading it).
+    fn msolve_with(&self, alphas: &[f64], r: &[f64], z: &mut [f64], scratch: &mut [f64]) {
         assert!(!alphas.is_empty(), "msolve needs at least one coefficient");
         assert_eq!(r.len(), self.dim(), "mc-ssor msolve: r length mismatch");
         assert_eq!(z.len(), self.dim(), "mc-ssor msolve: z length mismatch");
+        assert_eq!(
+            scratch.len(),
+            self.dim(),
+            "mc-ssor msolve: scratch length mismatch"
+        );
         let m = alphas.len();
-        let mut y = self.y.lock().unwrap_or_else(|e| e.into_inner());
-        let y = y.as_mut_slice();
+        let y = scratch;
         let from = self.backward_start();
         self.forward_first(alphas[m - 1], r, z, y);
         self.backward_cached(alphas[m - 1], r, z, y, from);

@@ -1,27 +1,36 @@
 //! SPMD parallel m-step SSOR PCG on real threads.
 //!
-//! Worker `t` owns a contiguous strip of the color-ordered unknowns; every
-//! iteration phase is barrier-separated; worker 0 performs the scalar
-//! reductions (α, β, the convergence test) exactly as the Finite Element
-//! Machine's sum/max circuit and flag network did. ω is fixed at 1, the
+//! Worker `t` owns a contiguous strip of the color-ordered unknowns and
+//! every iteration phase is barrier-separated. ω is fixed at 1, the
 //! paper's recommendation for multicolor orderings.
 //!
-//! The phase schedule per iteration (`C` colors, `m` steps):
+//! ## Fused phase schedule
+//!
+//! Each reduction is **fused into the phase that produces its operands**
+//! (the kernel writes its strip, then immediately forms the strip partial
+//! — no extra barrier), and the scalar reductions over the per-worker
+//! partials are **replicated**: every worker sums the same partials in
+//! the same order, so all workers reach bitwise-identical α, β and
+//! stopping decisions without a broadcast phase — the sum/max circuit of
+//! the Finite Element Machine, minus the dedicated round trips. Three
+//! partial banks (`dot`, `change`, `rz`) rotate so a fast worker's writes
+//! for phase k+1 can never race a slow worker's reads from phase k.
+//!
+//! Per iteration (`C` colors, `m` steps):
 //!
 //! ```text
-//! kp ← K·p            1 barrier
-//! dot partials        1 barrier
-//! α reduce            1 barrier
-//! u, r update         1 barrier
-//! stop test           1 barrier
-//! preconditioner      m·(2C−1) barriers (one per color phase)
-//! rz partials         1 barrier
-//! β reduce            1 barrier
-//! p update            1 barrier
+//! kp ← K·p  ⊕ (p, Kp) partial          1 barrier
+//! u += αp; r −= α·Kp ⊕ ‖Δu‖∞ partial   1 barrier   (fused vecops kernel)
+//! preconditioner, `w₀ = 0` start fused
+//!   into the first color sweep and the
+//!   (z, r) partial into the last        m·(2C−1) barriers
+//! p ← z + βp                            1 barrier
 //! ```
 //!
-//! Results are bit-deterministic across runs (fixed reduction order) and
-//! agree with the sequential solver to rounding.
+//! i.e. `m·(2C−1) + 3` barriers per iteration, down from the unfused
+//! `m·(2C−1) + 9` (separate dot/stop/reduce/fill phases). Results are
+//! bit-identical to the unfused schedule: the fused kernels perform the
+//! same arithmetic in the same order, only without the barriers.
 
 use crate::barrier::SpinBarrier;
 use crate::shared::{slot, ScalarBank, SharedVec};
@@ -65,9 +74,10 @@ pub struct ParallelSolveReport {
     pub threads: usize,
 }
 
-/// Status codes passed from worker 0 to the main thread.
+/// Status codes passed from worker 0 to the main thread. The zeroed bank
+/// (`0.0`) means no outcome was recorded — reachable only with
+/// `max_iterations == 0`, which reports as converged-at-the-start.
 mod status {
-    pub const RUNNING: f64 = 0.0;
     pub const CONVERGED: f64 = 1.0;
     pub const INDEFINITE_K: f64 = 2.0;
     pub const INDEFINITE_M: f64 = 3.0;
@@ -219,7 +229,12 @@ impl ParallelMStepPcg {
         let p = SharedVec::zeros(n);
         let kp = SharedVec::zeros(n);
         let y = SharedVec::zeros(n);
-        let partials = SharedVec::zeros(threads);
+        // Three rotating partial banks: a phase's partial writes must
+        // never alias a straggler's replicated-reduction reads of the
+        // previous bank (two barriers always separate reuse of one bank).
+        let dot_partials = SharedVec::zeros(threads);
+        let change_partials = SharedVec::zeros(threads);
+        let rz_partials = SharedVec::zeros(threads);
         let bank = ScalarBank::new();
         let barrier = SpinBarrier::new(threads);
         let iters_out = SharedVec::zeros(2); // [iterations, final_change]
@@ -227,9 +242,10 @@ impl ParallelMStepPcg {
         std::thread::scope(|s| {
             for t in 0..threads {
                 let strip = strips[t].clone();
-                let (u, r, z, p, kp, y, partials, bank, barrier, iters_out) = (
-                    &u, &r, &z, &p, &kp, &y, &partials, &bank, &barrier, &iters_out,
-                );
+                let (u, r, z, p, kp, y, bank, barrier, iters_out) =
+                    (&u, &r, &z, &p, &kp, &y, &bank, &barrier, &iters_out);
+                let (dot_partials, change_partials, rz_partials) =
+                    (&dot_partials, &change_partials, &rz_partials);
                 let this = &*self;
                 // `serialized` pins the shared kernels to this worker:
                 // each strip is small by construction, so nested pool
@@ -237,8 +253,21 @@ impl ParallelMStepPcg {
                 s.spawn(move || {
                     mspcg_sparse::par::serialized(|| {
                         this.worker(
-                            t, threads, strip, u, r, z, p, kp, y, partials, bank, barrier,
-                            iters_out, opts,
+                            t,
+                            strip,
+                            u,
+                            r,
+                            z,
+                            p,
+                            kp,
+                            y,
+                            dot_partials,
+                            change_partials,
+                            rz_partials,
+                            bank,
+                            barrier,
+                            iters_out,
+                            opts,
                         );
                     });
                 });
@@ -274,13 +303,20 @@ impl ParallelMStepPcg {
 
     /// The SPMD body run by every worker. All `unsafe` blocks follow the
     /// phase discipline documented in [`crate::shared`]: writes go only to
-    /// owned ranges (or owned ∩ color block), reads only touch data
-    /// finalized before the previous barrier.
+    /// owned ranges (or owned ∩ color block), reads only touch elements
+    /// finalized before the previous barrier or written by this worker in
+    /// the current phase.
+    ///
+    /// Scalar reductions (α, β, the stopping test) are **replicated**:
+    /// after the barrier that publishes a partial bank, every worker sums
+    /// it in ascending index order, obtaining bitwise-identical scalars —
+    /// so every control-flow branch below is taken unanimously and no
+    /// broadcast phase is needed. Worker 0 alone records the outcome for
+    /// the main thread.
     #[allow(clippy::too_many_arguments)]
     fn worker(
         &self,
         t: usize,
-        threads: usize,
         strip: std::ops::Range<usize>,
         u: &SharedVec,
         r: &SharedVec,
@@ -288,7 +324,9 @@ impl ParallelMStepPcg {
         p: &SharedVec,
         kp: &SharedVec,
         y: &SharedVec,
-        partials: &SharedVec,
+        dot_partials: &SharedVec,
+        change_partials: &SharedVec,
+        rz_partials: &SharedVec,
         bank: &ScalarBank,
         barrier: &SpinBarrier,
         iters_out: &SharedVec,
@@ -296,59 +334,58 @@ impl ParallelMStepPcg {
     ) {
         let own = strip.clone();
 
-        // --- init: z = M⁻¹ r; p = z; rz = (z, r) --------------------------
-        self.msolve_phases(&own, r, z, y, barrier);
-        unsafe {
-            let zs = z.read();
-            p.write(own.clone()).copy_from_slice(&zs[own.clone()]);
-            let rs = r.read();
-            let partial = vecops::dot(&zs[own.clone()], &rs[own.clone()]);
-            partials.write_at(t, partial);
-        }
-        barrier.wait();
-        if t == 0 {
-            let rz: f64 = unsafe { partials.read().iter().sum() };
-            unsafe {
-                bank.set(slot::RZ, rz);
-                bank.set(slot::STOP, status::RUNNING);
-                if rz < 0.0 {
+        // --- init: z = M⁻¹ r, with p ← z and the (z, r) partial fused
+        // into the preconditioner's final color phase — no extra barriers.
+        self.msolve_phases(&own, t, r, z, y, Some(p), rz_partials, barrier);
+        let mut rz: f64 = unsafe { rz_partials.read().iter().sum() };
+        if rz < 0.0 {
+            if t == 0 {
+                unsafe {
                     bank.set(slot::STOP, status::INDEFINITE_M);
                 }
-                if rz == 0.0 {
+            }
+            return;
+        }
+        if rz == 0.0 {
+            if t == 0 {
+                unsafe {
                     bank.set(slot::STOP, status::CONVERGED);
                     iters_out.write_at(0, 0.0);
                     iters_out.write_at(1, 0.0);
                 }
             }
+            return;
         }
-        barrier.wait();
-        if unsafe { bank.get(slot::STOP) } != status::RUNNING {
+        if opts.max_iterations == 0 {
+            // A zero budget with a nonzero residual is exhaustion, not
+            // convergence — the serial solver reports the same.
+            if t == 0 {
+                unsafe {
+                    bank.set(slot::STOP, status::BUDGET);
+                    iters_out.write_at(0, 0.0);
+                    iters_out.write_at(1, f64::INFINITY);
+                }
+            }
             return;
         }
 
         for iter in 1..=opts.max_iterations {
-            // --- kp = K p (shared strip SpMV kernel) -----------------------
+            // --- kp = K p ⊕ (p, Kp) partial: the strip of kp this worker
+            // just wrote is exactly the strip the partial reads, so the
+            // dot needs no barrier of its own.
             unsafe {
                 let pv = p.read();
                 let out = kp.write(own.clone());
                 self.matrix.mul_vec_range_into(pv, out, own.clone());
+                dot_partials.write_at(t, vecops::dot(&pv[own.clone()], out));
             }
             barrier.wait();
 
-            // --- (p, Kp) partials -------------------------------------------
-            unsafe {
-                let (ps, kps) = (p.read(), kp.read());
-                let partial = vecops::dot(&ps[own.clone()], &kps[own.clone()]);
-                partials.write_at(t, partial);
-            }
-            barrier.wait();
-
-            // --- α ----------------------------------------------------------
-            if t == 0 {
-                unsafe {
-                    let denom: f64 = partials.read().iter().sum();
-                    if denom <= 0.0 {
-                        let rz = bank.get(slot::RZ);
+            // --- α (replicated) ---------------------------------------------
+            let denom: f64 = unsafe { dot_partials.read().iter().sum() };
+            if denom <= 0.0 {
+                if t == 0 {
+                    unsafe {
                         bank.set(
                             slot::STOP,
                             if rz == 0.0 {
@@ -358,86 +395,70 @@ impl ParallelMStepPcg {
                             },
                         );
                         iters_out.write_at(0, (iter - 1) as f64);
-                    } else {
-                        bank.set(slot::ALPHA, bank.get(slot::RZ) / denom);
                     }
                 }
-            }
-            barrier.wait();
-            if unsafe { bank.get(slot::STOP) } != status::RUNNING {
                 return;
             }
-            let alpha = unsafe { bank.get(slot::ALPHA) };
+            let alpha = rz / denom;
 
-            // --- u += αp; r −= α·Kp; change partial --------------------------
+            // --- u += αp; r −= α·Kp ⊕ ‖Δu‖∞ partial (fused kernel) ----------
             unsafe {
                 let pv = p.read();
                 let kpv = kp.read();
                 let uo = u.write(own.clone());
-                let mut maxp = 0.0f64;
-                for (k, i) in own.clone().enumerate() {
-                    uo[k] += alpha * pv[i];
-                    maxp = maxp.max(pv[i].abs());
-                }
                 let ro = r.write(own.clone());
-                vecops::axpy(-alpha, &kpv[own.clone()], ro);
-                partials.write_at(t, alpha.abs() * maxp);
+                let norms = vecops::fused_axpy_axpy_norm(
+                    alpha,
+                    &pv[own.clone()],
+                    &kpv[own.clone()],
+                    uo,
+                    ro,
+                );
+                change_partials.write_at(t, alpha.abs() * norms.p_norm_inf);
             }
             barrier.wait();
 
-            // --- convergence test (flag network) -----------------------------
-            if t == 0 {
-                unsafe {
-                    let change = partials.read().iter().fold(0.0f64, |a, &b| a.max(b));
-                    bank.set(slot::CHANGE, change);
-                    if change < opts.tol {
+            // --- convergence test (replicated flag network) ------------------
+            let change = unsafe { change_partials.read().iter().fold(0.0f64, |a, &b| a.max(b)) };
+            if change < opts.tol {
+                if t == 0 {
+                    unsafe {
                         bank.set(slot::STOP, status::CONVERGED);
                         iters_out.write_at(0, iter as f64);
                         iters_out.write_at(1, change);
-                    } else if iter == opts.max_iterations {
+                    }
+                }
+                return;
+            }
+            if iter == opts.max_iterations {
+                if t == 0 {
+                    unsafe {
                         bank.set(slot::STOP, status::BUDGET);
                         iters_out.write_at(0, iter as f64);
                         iters_out.write_at(1, change);
                     }
                 }
-            }
-            barrier.wait();
-            if unsafe { bank.get(slot::STOP) } != status::RUNNING {
                 return;
             }
 
-            // --- z = M⁻¹ r ----------------------------------------------------
-            self.msolve_phases(&own, r, z, y, barrier);
+            // --- z = M⁻¹ r, (z, r) partial fused into the final phase --------
+            self.msolve_phases(&own, t, r, z, y, None, rz_partials, barrier);
 
-            // --- (z, r) partials ----------------------------------------------
-            unsafe {
-                let (zs, rs) = (z.read(), r.read());
-                let partial = vecops::dot(&zs[own.clone()], &rs[own.clone()]);
-                partials.write_at(t, partial);
-            }
-            barrier.wait();
-
-            // --- β -------------------------------------------------------------
-            if t == 0 {
-                unsafe {
-                    let rz_new: f64 = partials.read().iter().sum();
-                    if rz_new < 0.0 {
+            // --- β (replicated) ---------------------------------------------
+            let rz_new: f64 = unsafe { rz_partials.read().iter().sum() };
+            if rz_new < 0.0 {
+                if t == 0 {
+                    unsafe {
                         bank.set(slot::STOP, status::INDEFINITE_M);
                         iters_out.write_at(0, iter as f64);
-                    } else {
-                        let rz = bank.get(slot::RZ);
-                        bank.set(slot::BETA, rz_new / rz.max(1e-300));
-                        bank.set(slot::RZ, rz_new);
                     }
                 }
-            }
-            barrier.wait();
-            if unsafe { bank.get(slot::STOP) } != status::RUNNING {
                 return;
             }
-            let beta = unsafe { bank.get(slot::BETA) };
+            let beta = rz_new / rz.max(1e-300);
+            rz = rz_new;
 
-            // --- p = z + βp (shared xpby kernel) -------------------------------
+            // --- p = z + βp (shared xpby kernel) -----------------------------
             unsafe {
                 let zv = z.read();
                 let po = p.write(own.clone());
@@ -445,41 +466,66 @@ impl ParallelMStepPcg {
             }
             barrier.wait();
         }
-        // Budget exhaustion is flagged inside the loop; nothing to do here.
-        let _ = threads;
     }
 
     /// Barrier-per-color m-step SSOR solve `z ← M⁻¹ r` (ω = 1), or a plain
     /// copy when no coefficients are set (plain CG).
+    ///
+    /// Two fusions remove the surrounding barriers:
+    /// * the `w₀ = 0` start is folded into the first forward sweep (step 1
+    ///   reads neither `z` outside the current pass nor the `y` cache, so
+    ///   the old zero-fill phase and its barrier are gone), exactly like
+    ///   the sequential `MulticolorSsor::forward_first`;
+    /// * the **final color phase** additionally forms this worker's
+    ///   `(z, r)` strip partial — every `z` element of the strip was
+    ///   written by this worker in this or an earlier phase of the solve,
+    ///   so the partial needs no extra barrier — and, during
+    ///   initialization (`p0 = Some`), copies the strip into `p⁰`.
+    #[allow(clippy::too_many_arguments)]
     fn msolve_phases(
         &self,
         own: &std::ops::Range<usize>,
+        t: usize,
         r: &SharedVec,
         z: &SharedVec,
         y: &SharedVec,
+        p0: Option<&SharedVec>,
+        rz_partials: &SharedVec,
         barrier: &SpinBarrier,
     ) {
+        // Tail fused into the final phase, before its barrier. SAFETY of
+        // the reads: only own-strip elements of z are touched, and all of
+        // them were written by this worker (ownership is strip ∩ color);
+        // r was finalized before the preconditioner began.
+        let tail = || unsafe {
+            let zs = z.read();
+            let rs = r.read();
+            if let Some(p) = p0 {
+                p.write(own.clone()).copy_from_slice(&zs[own.clone()]);
+            }
+            rz_partials.write_at(t, vecops::dot(&zs[own.clone()], &rs[own.clone()]));
+        };
         if self.alphas.is_empty() {
             unsafe {
                 let rs = r.read();
                 z.write(own.clone()).copy_from_slice(&rs[own.clone()]);
             }
+            tail();
             barrier.wait();
             return;
         }
-        unsafe {
-            z.write(own.clone()).fill(0.0);
-            y.write(own.clone()).fill(0.0);
-        }
-        barrier.wait();
         let m = self.alphas.len();
         let nb = self.colors.num_blocks();
         for s in 1..=m {
             let alpha = self.alphas[m - s];
+            let first_step = s == 1;
+            let last_step = s == m;
             // Forward pass: one barrier per color. Within a color phase,
             // each row is written by exactly one worker (own ∩ color) and
             // reads only other colors (finalized) — the multicolor
-            // guarantee.
+            // guarantee. In the first step the upper half-sums are
+            // structurally zero (fused `w₀ = 0` start), so the stale `y`
+            // cache is never read.
             for c in 0..nb {
                 let blk = self.colors.range(c);
                 let lo = blk.start.max(own.start);
@@ -491,11 +537,16 @@ impl ParallelMStepPcg {
                     let yv = y.read();
                     for i in lo..hi {
                         let lower = self.half_sum(i, zv, true);
-                        let upper = if last { 0.0 } else { yv[i] };
+                        let upper = if last || first_step { 0.0 } else { yv[i] };
                         let xi = (alpha * rv[i] - lower - upper) * self.inv_diag[i];
                         z.write_at(i, xi);
                         y.write_at(i, lower);
                     }
+                }
+                if last_step && last && nb == 1 {
+                    // Single color: no backward pass — this is the final
+                    // phase of the whole solve.
+                    tail();
                 }
                 barrier.wait();
             }
@@ -515,6 +566,9 @@ impl ParallelMStepPcg {
                         z.write_at(i, xi);
                         y.write_at(i, upper);
                     }
+                }
+                if last_step && c == 0 {
+                    tail();
                 }
                 barrier.wait();
             }
@@ -658,6 +712,24 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(SparseError::DidNotConverge { .. })));
+    }
+
+    #[test]
+    fn zero_iteration_budget_is_exhaustion_not_convergence() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let err = par.solve(
+            &rhs,
+            &ParallelSolverOptions {
+                threads: 2,
+                tol: 1e-8,
+                max_iterations: 0,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(SparseError::DidNotConverge { iterations: 0, .. })
+        ));
     }
 
     #[test]

@@ -221,7 +221,11 @@ impl CsrMatrix {
     /// hot kernel of every CG iteration).
     ///
     /// Large matrices run row-parallel on the `mspcg-sparse` worker pool
-    /// (`par` feature); rows are independent, so the result is bitwise
+    /// (`par` feature) over **nnz-weighted** chunks (see
+    /// [`par::spmv_layout`]): chunk boundaries follow the `row_ptr` prefix
+    /// sum, so a run of dense-ish rows is split across chunks instead of
+    /// serializing the pool. Rows are independent and chunk boundaries
+    /// depend only on the matrix structure, so the result is bitwise
     /// identical to the serial path for any thread count.
     ///
     /// # Panics
@@ -234,14 +238,13 @@ impl CsrMatrix {
             self.mul_vec_range_into(x, y, 0..self.rows);
             return;
         }
-        let (chunk, nchunks) = par::row_layout(self.rows);
+        let (chunk_nnz, nchunks) = par::spmv_layout(self.nnz());
         let ys = par::ParSlice::new(y);
         par::for_each_chunk(nchunks, threads, &|c| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(self.rows);
+            let rows = par::spmv_chunk_rows(&self.row_ptr, chunk_nnz, c);
             // SAFETY: row chunks are disjoint and each claimed once.
-            let out = unsafe { ys.slice_mut(lo..hi) };
-            self.mul_vec_range_into(x, out, lo..hi);
+            let out = unsafe { ys.slice_mut(rows.clone()) };
+            self.mul_vec_range_into(x, out, rows);
         });
     }
 
@@ -267,7 +270,7 @@ impl CsrMatrix {
     }
 
     /// `y ← y + a·(A·x)` fused kernel (used by residual updates); row
-    /// parallel like [`CsrMatrix::mul_vec_into`].
+    /// parallel over nnz-weighted chunks like [`CsrMatrix::mul_vec_into`].
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -279,14 +282,13 @@ impl CsrMatrix {
             self.mul_vec_axpy_range(a, x, y, 0..self.rows);
             return;
         }
-        let (chunk, nchunks) = par::row_layout(self.rows);
+        let (chunk_nnz, nchunks) = par::spmv_layout(self.nnz());
         let ys = par::ParSlice::new(y);
         par::for_each_chunk(nchunks, threads, &|c| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(self.rows);
+            let rows = par::spmv_chunk_rows(&self.row_ptr, chunk_nnz, c);
             // SAFETY: row chunks are disjoint and each claimed once.
-            let out = unsafe { ys.slice_mut(lo..hi) };
-            self.mul_vec_axpy_range(a, x, out, lo..hi);
+            let out = unsafe { ys.slice_mut(rows.clone()) };
+            self.mul_vec_axpy_range(a, x, out, rows);
         });
     }
 
@@ -744,6 +746,50 @@ mod tests {
             assert!(
                 y1.iter().zip(&yt).all(|(u, v)| u.to_bits() == v.to_bits()),
                 "spmv differs at t = {t}"
+            );
+        }
+        crate::par::set_max_threads(before);
+    }
+
+    #[test]
+    fn irregular_spmv_is_thread_count_insensitive() {
+        let _guard = crate::par::thread_sweep_lock();
+        // Arrow matrix: a handful of dense rows dominate the nnz; the
+        // nnz-weighted chunks must still cover every row exactly once and
+        // match the serial result bitwise.
+        let n = 8_000usize;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 8.0).unwrap();
+        }
+        for d in 0..4usize {
+            // Dense rows at the top, symmetric fill to stay sorted.
+            for j in 4..n {
+                coo.push_sym(d, j, -1e-3).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        assert!(a.nnz() >= crate::par::PAR_MIN_NNZ);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 31) as f64 * 0.1).collect();
+        let before = crate::par::max_threads();
+        crate::par::set_max_threads(1);
+        let y1 = a.mul_vec(&x);
+        let mut acc1 = vec![0.5; n];
+        a.mul_vec_axpy(-2.0, &x, &mut acc1);
+        for t in [2usize, 4, 8] {
+            crate::par::set_max_threads(t);
+            let yt = a.mul_vec(&x);
+            assert!(
+                y1.iter().zip(&yt).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "irregular spmv differs at t = {t}"
+            );
+            let mut acct = vec![0.5; n];
+            a.mul_vec_axpy(-2.0, &x, &mut acct);
+            assert!(
+                acc1.iter()
+                    .zip(&acct)
+                    .all(|(u, v)| u.to_bits() == v.to_bits()),
+                "irregular mul_vec_axpy differs at t = {t}"
             );
         }
         crate::par::set_max_threads(before);

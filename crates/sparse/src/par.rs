@@ -75,6 +75,45 @@ pub fn row_layout(rows: usize) -> (usize, usize) {
     (chunk, rows.div_ceil(chunk))
 }
 
+/// Minimum stored entries per SpMV chunk: below this the chunk-claim
+/// overhead dominates the row loop.
+pub const MIN_SPMV_CHUNK_NNZ: usize = 1 << 9;
+
+/// Chunk layout for **nnz-weighted** sparse row kernels: returns
+/// `(chunk_nnz, num_chunks)` so that each chunk covers roughly `chunk_nnz`
+/// stored entries rather than a fixed row count. Row-count chunking lets a
+/// run of dense-ish rows serialize the pool on irregular FEM matrices; the
+/// nnz weighting balances actual work. Depends only on `nnz`, never on the
+/// thread count, so layouts stay deterministic.
+#[inline]
+pub fn spmv_layout(nnz: usize) -> (usize, usize) {
+    if nnz == 0 {
+        return (1, 0);
+    }
+    let chunk = nnz.div_ceil(MAX_PARTIALS).max(MIN_SPMV_CHUNK_NNZ);
+    (chunk, nnz.div_ceil(chunk))
+}
+
+/// Row range owned by nnz-weighted chunk `c` of a CSR matrix with row
+/// pointer array `row_ptr`: row `r` belongs to chunk
+/// `row_ptr[r] / chunk_nnz` (prefix-sum bucketing), so consecutive chunks
+/// hold disjoint, exhaustive, ascending row ranges whose stored-entry
+/// counts are within one row of `chunk_nnz`. The final chunk absorbs any
+/// trailing empty rows.
+#[inline]
+pub fn spmv_chunk_rows(row_ptr: &[usize], chunk_nnz: usize, c: usize) -> Range<usize> {
+    let rows = row_ptr.len() - 1;
+    let nnz = row_ptr[rows];
+    let (_, nchunks) = spmv_layout(nnz);
+    let lo = row_ptr[..rows].partition_point(|&x| x < c * chunk_nnz);
+    let hi = if c + 1 >= nchunks {
+        rows
+    } else {
+        row_ptr[..rows].partition_point(|&x| x < (c + 1) * chunk_nnz)
+    };
+    lo..hi
+}
+
 /// A shared mutable `f64` slice for disjoint-index parallel writes.
 ///
 /// The multicolor contract ("each row inside a color block is written by
@@ -151,6 +190,17 @@ impl<'a> ParSlice<'a> {
         debug_assert!(range.end <= self.len);
         // SAFETY: disjointness by the forwarded contract.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+/// Parse an `MSPCG_THREADS` value: `Some(n)` for a positive integer,
+/// `None` for anything else (`0`, empty, non-numeric, overflow). A budget
+/// of zero threads is meaningless — it would describe an empty pool — so
+/// it is invalid rather than silently promoted.
+pub fn parse_thread_budget(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
     }
 }
 
@@ -377,9 +427,22 @@ mod imp {
     }
 
     fn default_threads() -> usize {
-        if let Ok(v) = std::env::var("MSPCG_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.clamp(1, pool_capacity());
+        // An empty value (`MSPCG_THREADS= cargo test`) counts as unset.
+        if let Ok(v) = std::env::var("MSPCG_THREADS").map(|v| v.trim().to_owned()) {
+            if !v.is_empty() {
+                // Invalid values (`0`, non-numeric) used to be accepted
+                // silently — `0` clamped up, garbage fell through to the
+                // hardware default, both masking a misconfiguration. Fail
+                // loudly in debug builds and pin the budget to a single
+                // thread otherwise, which is the conservative reading of
+                // "the user asked for almost no parallelism".
+                return match super::parse_thread_budget(&v) {
+                    Some(n) => n.min(pool_capacity()),
+                    None => {
+                        debug_assert!(false, "MSPCG_THREADS must be a positive integer, got {v:?}");
+                        1
+                    }
+                };
             }
         }
         std::thread::available_parallelism()
@@ -482,6 +545,63 @@ mod tests {
         assert!(k <= MAX_PARTIALS);
         assert!(c * k >= 1 << 20);
         assert!(c * (k - 1) < 1 << 20);
+    }
+
+    #[test]
+    fn spmv_layout_is_size_only() {
+        assert_eq!(spmv_layout(0), (1, 0));
+        let (c, k) = spmv_layout(100);
+        assert_eq!((c, k), (MIN_SPMV_CHUNK_NNZ, 1));
+        let (c, k) = spmv_layout(1 << 22);
+        assert!(k <= MAX_PARTIALS);
+        assert!(c * k >= 1 << 22);
+        assert!(c * (k - 1) < 1 << 22);
+    }
+
+    #[test]
+    fn spmv_chunk_rows_partition_by_nnz_not_row_count() {
+        // 6 rows: one dense-ish row up front, then sparse rows. Row-count
+        // chunking would pair the dense row with half the sparse ones;
+        // nnz weighting must isolate it.
+        let row_ptr = vec![0usize, 1000, 1002, 1004, 1006, 1008, 1010];
+        let chunk = 512usize;
+        let nchunks = 1010usize.div_ceil(chunk);
+        let mut covered = Vec::new();
+        let mut prev_end = 0usize;
+        for c in 0..nchunks {
+            let r = spmv_chunk_rows(&row_ptr, chunk, c);
+            assert_eq!(r.start, prev_end, "chunks must be contiguous");
+            prev_end = r.end;
+            covered.extend(r);
+        }
+        assert_eq!(covered, (0..6).collect::<Vec<_>>());
+        // The dense row sits alone in its first chunk(s): chunk 0 covers
+        // only row 0 (its 1000 entries span targets 0 and 512).
+        assert_eq!(spmv_chunk_rows(&row_ptr, chunk, 0), 0..1);
+    }
+
+    #[test]
+    fn spmv_chunk_rows_absorb_trailing_empty_rows() {
+        // Trailing empty rows (row_ptr pinned at nnz) must land in the
+        // last chunk, not be dropped.
+        let row_ptr = vec![0usize, 600, 1200, 1200, 1200];
+        let (chunk, nchunks) = spmv_layout(1200);
+        let mut covered = Vec::new();
+        for c in 0..nchunks {
+            covered.extend(spmv_chunk_rows(&row_ptr, chunk, c));
+        }
+        assert_eq!(covered, (0..4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_budget_parsing_rejects_invalid() {
+        assert_eq!(parse_thread_budget("4"), Some(4));
+        assert_eq!(parse_thread_budget(" 2 "), Some(2));
+        assert_eq!(parse_thread_budget("0"), None);
+        assert_eq!(parse_thread_budget(""), None);
+        assert_eq!(parse_thread_budget("abc"), None);
+        assert_eq!(parse_thread_budget("-3"), None);
+        assert_eq!(parse_thread_budget("2.5"), None);
     }
 
     #[test]

@@ -195,7 +195,15 @@ fn max_reduce(n: usize, chunk_max: impl Fn(usize, usize) -> f64 + Sync) -> f64 {
 /// large components.
 #[inline]
 pub fn norm2(x: &[f64]) -> f64 {
-    let maxabs = norm_inf(x);
+    norm2_with_max(x, norm_inf(x))
+}
+
+/// The scaled-sum pass of [`norm2`] with the `‖x‖∞` pass already done —
+/// callers that obtained `maxabs` from a fused kernel (see
+/// [`fused_axpy_axpy_norm`]) skip one full sweep over `x`. Bitwise
+/// identical to `norm2(x)` whenever `maxabs == norm_inf(x)`.
+#[inline]
+pub fn norm2_with_max(x: &[f64], maxabs: f64) -> f64 {
     if maxabs == 0.0 || !maxabs.is_finite() {
         return maxabs;
     }
@@ -296,6 +304,190 @@ pub fn sub(x: &[f64], y: &[f64], z: &mut [f64]) {
             *zi = xi - yi;
         }
     });
+}
+
+/// Reduction partials of [`fused_axpy_axpy_norm`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FusedUpdateNorms {
+    /// `‖p‖∞` of the (unchanged) direction vector — multiply by `|α|` for
+    /// the displacement-change stopping test.
+    pub p_norm_inf: f64,
+    /// `‖r‖∞` of the **updated** residual — feed [`norm2_with_max`] for
+    /// the relative-residual test without another full sweep.
+    pub r_norm_inf: f64,
+}
+
+/// One chunk of the fused CG update: `u ← u + α·p`, `r ← r + (−α)·kp`,
+/// returning `(max|p|, max|r_new|)` for the chunk. The per-element
+/// arithmetic and max logic replicate [`axpy`] and [`norm_inf`] exactly.
+#[inline]
+fn fused_update_chunk(
+    alpha: f64,
+    p: &[f64],
+    kp: &[f64],
+    u: &mut [f64],
+    r: &mut [f64],
+) -> (f64, f64) {
+    let mut max_p = 0.0f64;
+    for (ui, pi) in u.iter_mut().zip(p) {
+        *ui += alpha * pi;
+        let a = pi.abs();
+        if a > max_p {
+            max_p = a;
+        }
+    }
+    let neg_alpha = -alpha;
+    let mut max_r = 0.0f64;
+    for (ri, ki) in r.iter_mut().zip(kp) {
+        *ri += neg_alpha * ki;
+        let a = ri.abs();
+        if a > max_r {
+            max_r = a;
+        }
+    }
+    (max_p, max_r)
+}
+
+/// The fused CG iteration update: in **one pass** over the fixed chunk
+/// layout, perform `u ← u + α·p` and `r ← r − α·kp` and accumulate the
+/// `‖p‖∞` / `‖r_new‖∞` reduction partials. Replaces the three to four
+/// separate sweeps (`axpy`, `norm_inf`, `axpy`, and the `norm_inf` half of
+/// [`norm2`]) of the unfused loop — one memory traversal and, on the
+/// worker pool, one kernel launch instead of three.
+///
+/// **Bitwise identical to the unfused path** for any thread count: chunk
+/// boundaries come from the same [`crate::par::reduction_layout`], the
+/// per-element update arithmetic matches [`axpy`], and the max reductions
+/// combine per-chunk partials in ascending chunk order exactly like
+/// [`norm_inf`] (`tests/par_determinism.rs` asserts this).
+///
+/// # Panics
+/// Panics if the four slices differ in length.
+pub fn fused_axpy_axpy_norm(
+    alpha: f64,
+    p: &[f64],
+    kp: &[f64],
+    u: &mut [f64],
+    r: &mut [f64],
+) -> FusedUpdateNorms {
+    let n = p.len();
+    assert_eq!(kp.len(), n, "fused_axpy_axpy_norm: kp length mismatch");
+    assert_eq!(u.len(), n, "fused_axpy_axpy_norm: u length mismatch");
+    assert_eq!(r.len(), n, "fused_axpy_axpy_norm: r length mismatch");
+    let (chunk, nchunks) = par::reduction_layout(n);
+    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    if threads <= 1 {
+        let mut out = FusedUpdateNorms::default();
+        for c in 0..nchunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let (mp, mr) = fused_update_chunk(
+                alpha,
+                &p[lo..hi],
+                &kp[lo..hi],
+                &mut u[lo..hi],
+                &mut r[lo..hi],
+            );
+            if mp > out.p_norm_inf {
+                out.p_norm_inf = mp;
+            }
+            if mr > out.r_norm_inf {
+                out.r_norm_inf = mr;
+            }
+        }
+        return out;
+    }
+    let mut p_partials = [0.0f64; par::MAX_PARTIALS];
+    let mut r_partials = [0.0f64; par::MAX_PARTIALS];
+    {
+        let us = par::ParSlice::new(u);
+        let rs = par::ParSlice::new(r);
+        let pps = par::ParSlice::new(&mut p_partials);
+        let rps = par::ParSlice::new(&mut r_partials);
+        par::for_each_chunk(nchunks, threads, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            // SAFETY: chunks are disjoint and each claimed exactly once;
+            // partial slot `c` is written only by this chunk.
+            unsafe {
+                let uc = us.slice_mut(lo..hi);
+                let rc = rs.slice_mut(lo..hi);
+                let (mp, mr) = fused_update_chunk(alpha, &p[lo..hi], &kp[lo..hi], uc, rc);
+                pps.set(c, mp);
+                rps.set(c, mr);
+            }
+        });
+    }
+    let mut out = FusedUpdateNorms::default();
+    for c in 0..nchunks {
+        if p_partials[c] > out.p_norm_inf {
+            out.p_norm_inf = p_partials[c];
+        }
+        if r_partials[c] > out.r_norm_inf {
+            out.r_norm_inf = r_partials[c];
+        }
+    }
+    out
+}
+
+/// Fused direction update + inner product: `y ← x + b·y`, returning
+/// `yᵀw` of the **updated** `y` — one pass instead of an [`xpby`] sweep
+/// followed by a [`dot`] sweep. With `b == 0.0` the update is an exact
+/// copy (`y ← x`), so stale or non-finite values in `y` cannot leak
+/// through a `0·y` product — this is the PCG initialization
+/// `p⁰ ← r̂⁰, (r̂⁰, r⁰)` path.
+///
+/// Chunk deterministic and bitwise identical to the unfused
+/// `xpby(x, b, y); dot(y, w)` sequence (same layout, same per-chunk dot
+/// kernel, partials combined in ascending chunk order).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn fused_xpby_dot(x: &[f64], b: f64, y: &mut [f64], w: &[f64]) -> f64 {
+    let n = x.len();
+    assert_eq!(y.len(), n, "fused_xpby_dot: y length mismatch");
+    assert_eq!(w.len(), n, "fused_xpby_dot: w length mismatch");
+    let (chunk, nchunks) = par::reduction_layout(n);
+    let update = |lo: usize, hi: usize, yc: &mut [f64]| {
+        if b == 0.0 {
+            yc.copy_from_slice(&x[lo..hi]);
+        } else {
+            for (yi, xi) in yc.iter_mut().zip(&x[lo..hi]) {
+                *yi = xi + b * *yi;
+            }
+        }
+    };
+    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    if threads <= 1 {
+        let mut acc = 0.0;
+        for c in 0..nchunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            update(lo, hi, &mut y[lo..hi]);
+            acc += dot_chunk(&y[lo..hi], &w[lo..hi]);
+        }
+        return acc;
+    }
+    let mut partials = [0.0f64; par::MAX_PARTIALS];
+    {
+        let ys = par::ParSlice::new(y);
+        let ps = par::ParSlice::new(&mut partials);
+        par::for_each_chunk(nchunks, threads, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            // SAFETY: chunks are disjoint and each claimed exactly once.
+            unsafe {
+                let yc = ys.slice_mut(lo..hi);
+                update(lo, hi, yc);
+                ps.set(c, dot_chunk(yc, &w[lo..hi]));
+            }
+        });
+    }
+    let mut acc = 0.0;
+    for &p in &partials[..nchunks] {
+        acc += p;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -404,6 +596,102 @@ mod tests {
         let mut z = [0.0; 3];
         hadamard(&x, &y, &mut z);
         assert_eq!(z, [2.0, 1.0, -3.0]);
+    }
+
+    /// Fused CG update == unfused kernel sequence, bitwise, on a vector
+    /// crossing several chunk boundaries.
+    #[test]
+    fn fused_axpy_axpy_norm_matches_unfused_sequence() {
+        let n = crate::par::MIN_REDUCTION_CHUNK * 2 + 39;
+        let alpha = 0.731;
+        let p: Vec<f64> = (0..n)
+            .map(|i| ((i * 13 + 5) % 211) as f64 * 0.01 - 1.0)
+            .collect();
+        let kp: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 + 1) % 173) as f64 * 0.02 - 1.5)
+            .collect();
+        let u0: Vec<f64> = (0..n).map(|i| ((i * 7 + 2) % 97) as f64 * 0.1).collect();
+        let r0: Vec<f64> = (0..n)
+            .map(|i| ((i * 11 + 3) % 89) as f64 * 0.05 - 2.0)
+            .collect();
+
+        let mut u_ref = u0.clone();
+        let mut r_ref = r0.clone();
+        axpy(alpha, &p, &mut u_ref);
+        let p_norm = norm_inf(&p);
+        axpy(-alpha, &kp, &mut r_ref);
+        let r_norm = norm_inf(&r_ref);
+
+        let mut u = u0;
+        let mut r = r0;
+        let norms = fused_axpy_axpy_norm(alpha, &p, &kp, &mut u, &mut r);
+        assert_eq!(
+            u.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            u_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            r.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            r_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(norms.p_norm_inf.to_bits(), p_norm.to_bits());
+        assert_eq!(norms.r_norm_inf.to_bits(), r_norm.to_bits());
+        // And norm2 can be finished from the fused max without a fresh
+        // ∞-norm pass.
+        assert_eq!(
+            norm2_with_max(&r, norms.r_norm_inf).to_bits(),
+            norm2(&r).to_bits()
+        );
+    }
+
+    #[test]
+    fn fused_xpby_dot_matches_unfused_sequence() {
+        let n = crate::par::MIN_REDUCTION_CHUNK + 77;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 17 + 5) % 151) as f64 * 0.01).collect();
+        let w: Vec<f64> = (0..n)
+            .map(|i| ((i * 23 + 9) % 131) as f64 * 0.02 - 1.0)
+            .collect();
+        let y0: Vec<f64> = (0..n)
+            .map(|i| ((i * 5 + 1) % 61) as f64 * 0.1 - 3.0)
+            .collect();
+        for b in [0.42, -1.3] {
+            let mut y_ref = y0.clone();
+            xpby(&x, b, &mut y_ref);
+            let d_ref = dot(&y_ref, &w);
+            let mut y = y0.clone();
+            let d = fused_xpby_dot(&x, b, &mut y, &w);
+            assert_eq!(d.to_bits(), d_ref.to_bits(), "b = {b}");
+            assert!(y
+                .iter()
+                .zip(&y_ref)
+                .all(|(a, c)| a.to_bits() == c.to_bits()));
+        }
+    }
+
+    #[test]
+    fn fused_xpby_dot_zero_b_is_exact_copy() {
+        // Stale NaN in y must not survive b = 0 (copy semantics, not 0·y).
+        let x = [1.0, 2.0, 3.0];
+        let w = [1.0, 1.0, 1.0];
+        let mut y = [f64::NAN, f64::INFINITY, -0.0];
+        let d = fused_xpby_dot(&x, 0.0, &mut y, &w);
+        assert_eq!(y, x);
+        assert_eq!(d, 6.0);
+    }
+
+    #[test]
+    fn fused_kernels_handle_empty_and_tiny() {
+        let mut e: [f64; 0] = [];
+        let mut e2: [f64; 0] = [];
+        let norms = fused_axpy_axpy_norm(2.0, &[], &[], &mut e, &mut e2);
+        assert_eq!(norms, FusedUpdateNorms::default());
+        assert_eq!(fused_xpby_dot(&[], 1.0, &mut e, &[]), 0.0);
+        let mut u = [1.0];
+        let mut r = [4.0];
+        let norms = fused_axpy_axpy_norm(0.5, &[2.0], &[6.0], &mut u, &mut r);
+        assert_eq!(u, [2.0]);
+        assert_eq!(r, [1.0]);
+        assert_eq!(norms.p_norm_inf, 2.0);
+        assert_eq!(norms.r_norm_inf, 1.0);
     }
 
     /// The determinism contract, at unit level: serial result == parallel

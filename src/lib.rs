@@ -37,14 +37,28 @@
 //! BLAS-1 reductions are row/chunk parallel, and the per-color row loops
 //! of the multicolor SSOR sweeps — the loops the paper identifies as
 //! embarrassingly parallel — run on a persistent `std::thread` worker
-//! pool. Three contracts hold throughout:
+//! pool. The contracts:
 //!
 //! * **Determinism** — chunk boundaries depend only on problem size and
 //!   reductions combine per-chunk partials in a fixed order, so results
 //!   are bitwise identical across thread counts and between the serial
 //!   and parallel paths (`tests/par_determinism.rs` asserts this for a
 //!   full PCG solve). Thread budget: hardware default, `MSPCG_THREADS`
-//!   env var, or `mspcg::sparse::par::set_max_threads`.
+//!   env var (positive integers only — `0`/garbage pins the budget to one
+//!   thread, with a debug assertion), or
+//!   `mspcg::sparse::par::set_max_threads`.
+//! * **Fused iteration kernels** — the CG hot loop computes `u += αp`,
+//!   `r −= α·Kp` and the `‖p‖∞`/`‖r‖∞` stopping-test partials in **one
+//!   pass** per iteration (`vecops::fused_axpy_axpy_norm`; the direction
+//!   initialization uses `vecops::fused_xpby_dot`), bitwise identical to
+//!   the unfused sweeps. The SPMD `ParallelMStepPcg` fuses every
+//!   reduction into the phase producing its operands and replicates the
+//!   scalar reductions across workers: `m·(2C−1) + 3` barriers per
+//!   iteration (C colors, m steps), down from `m·(2C−1) + 9`.
+//! * **nnz-weighted SpMV chunking** — parallel SpMV splits rows at
+//!   `row_ptr` prefix-sum boundaries (`par::spmv_layout`), so a run of
+//!   dense-ish rows on an irregular FEM matrix cannot serialize the pool;
+//!   layouts stay thread-count independent.
 //! * **Adaptive fallback** — small kernels run serially; a
 //!   `--no-default-features` build is strictly serial with identical
 //!   results.
@@ -52,12 +66,21 @@
 //!   `PcgWorkspace` performs no heap allocation per solve (verified by a
 //!   counting-allocator test over the ω sweep); `MulticolorSsor` shares
 //!   the matrix/partition via `Arc` instead of deep-cloning.
+//! * **Batched multi-RHS** — `mspcg::core::multi::pcg_solve_multi` solves
+//!   many load cases against one matrix + preconditioner
+//!   (`MultiRhsWorkspace` holds per-lane scratch, so the shared SSOR
+//!   cache is never a lock point): right-hand sides become the unit of
+//!   parallelism for small matrices, kernels for large ones, with zero
+//!   per-solve allocation after warm-up and bitwise-standalone-identical
+//!   solutions. See `examples/multi_load_cases.rs`.
 //!
-//! Measure the kernels with
-//! `cargo bench -p mspcg-bench --bench spmv -- --json BENCH_pr1.json` and
-//! `… --bench precond -- --json BENCH_pr1.json` (serial vs parallel
-//! groups on a 512×512 red/black Poisson problem; committed reference
-//! numbers in `BENCH_pr1.json`).
+//! Measure with
+//! `cargo bench -p mspcg-bench --bench spmv -- --json BENCH_pr1.json`,
+//! `… --bench precond …`, and the fused-kernel / multi-RHS bench
+//! `cargo bench -p mspcg-bench --bench multi_rhs -- --json
+//! BENCH_pr2.json` (committed reference numbers in `BENCH_pr1.json` /
+//! `BENCH_pr2.json`; this container is single-core — re-record on a
+//! multi-core runner for parallel speedups).
 
 pub use mspcg_coloring as coloring;
 pub use mspcg_core as core;

@@ -5,7 +5,9 @@
 
 use mspcg::coloring::Coloring;
 use mspcg::core::mstep::MStepSsorPreconditioner;
+use mspcg::core::multi::{pcg_solve_multi, MultiRhsWorkspace};
 use mspcg::core::pcg::{pcg_solve_into, PcgOptions, PcgWorkspace};
+use mspcg::fem::plate::PlaneStressProblem;
 use mspcg::sparse::{CooMatrix, CsrMatrix, Partition};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,5 +114,53 @@ fn omega_sweep_solves_allocate_nothing_after_workspace_construction() {
         "PCG hot loop allocated {} time(s) across {} ω-sweep solves",
         after - before,
         omegas.len()
+    );
+}
+
+#[test]
+fn multi_rhs_batch_solves_allocate_nothing_after_workspace_construction() {
+    // The batched solver's contract: 32 load cases against one plate
+    // stiffness matrix, zero heap allocation per batch once the workspace
+    // is warm.
+    let nrhs = 32usize;
+    let asm = PlaneStressProblem::unit_square(10).assemble().unwrap();
+    let ord = asm.multicolor().unwrap();
+    let n = ord.matrix.rows();
+    let matrix = Arc::new(ord.matrix);
+    let colors = Arc::new(ord.colors);
+    let pre =
+        MStepSsorPreconditioner::unparametrized_shared(Arc::clone(&matrix), Arc::clone(&colors), 2)
+            .unwrap();
+    // 32 load cases: the assembled edge load under per-case scale factors.
+    let f: Vec<f64> = (0..nrhs)
+        .flat_map(|j| {
+            let scale = 1.0 + 0.1 * j as f64;
+            ord.rhs.iter().map(move |v| v * scale)
+        })
+        .collect();
+    let mut u = vec![0.0; nrhs * n];
+    let opts = PcgOptions {
+        tol: 1e-9,
+        ..Default::default()
+    };
+    let mut ws = MultiRhsWorkspace::new(n, nrhs);
+
+    // Warm once: sizes every lane workspace (including the per-lane
+    // preconditioner scratch) and the outcome table.
+    let warm = pcg_solve_multi(&matrix, &f, &mut u, &pre, &opts, &mut ws).unwrap();
+    assert_eq!(warm.converged, nrhs);
+
+    let before = allocation_count();
+    u.fill(0.0);
+    let sum = pcg_solve_multi(&matrix, &f, &mut u, &pre, &opts, &mut ws).unwrap();
+    let after = allocation_count();
+    assert_eq!(sum.converged, nrhs);
+    assert!(sum.total_iterations > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "multi-RHS batch allocated {} time(s) across {} solves",
+        after - before,
+        nrhs
     );
 }

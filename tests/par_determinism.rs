@@ -5,6 +5,7 @@
 //! boundaries and reduction order depend only on the problem size.
 
 use mspcg::core::mstep::MStepSsorPreconditioner;
+use mspcg::core::multi::{pcg_solve_multi, MultiRhsWorkspace};
 use mspcg::core::pcg::{pcg_solve_into, PcgOptions, PcgWorkspace};
 use mspcg::core::splitting::Splitting;
 use mspcg::core::ssor::MulticolorSsor;
@@ -69,6 +70,96 @@ fn blas1_kernels_bitwise_across_thread_counts() {
         let mut xb = y.clone();
         vecops::xpby(&x, -0.83, &mut xb);
         assert_eq!(bits(&xb1), bits(&xb), "xpby, t = {t}");
+    }
+    par::set_max_threads(before);
+}
+
+/// The fused CG-iteration kernels must agree with the unfused kernel
+/// sequence bitwise — and both must be thread-count insensitive. This is
+/// the acceptance gate for rewiring `pcg_solve_into` onto the fused path.
+#[test]
+fn fused_kernels_bitwise_equal_unfused_across_thread_counts() {
+    let _guard = sweep_lock();
+    let n = 150_000usize;
+    let alpha = 0.8125;
+    let p: Vec<f64> = (0..n)
+        .map(|i| ((i * 31 + 17) % 1009) as f64 * 1e-3 - 0.5)
+        .collect();
+    let kp: Vec<f64> = (0..n)
+        .map(|i| ((i * 43 + 3) % 977) as f64 * 1e-3 - 0.45)
+        .collect();
+    let u0: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 127) as f64 * 0.01).collect();
+    let r0: Vec<f64> = (0..n)
+        .map(|i| ((i * 19 + 11) % 113) as f64 * 0.02 - 1.0)
+        .collect();
+    let w: Vec<f64> = (0..n)
+        .map(|i| ((i * 59 + 23) % 89) as f64 * 0.01 - 0.4)
+        .collect();
+
+    let before = par::max_threads();
+    // Unfused reference at 1 thread.
+    par::set_max_threads(1);
+    let mut u_ref = u0.clone();
+    let mut r_ref = r0.clone();
+    vecops::axpy(alpha, &p, &mut u_ref);
+    let p_norm_ref = vecops::norm_inf(&p);
+    vecops::axpy(-alpha, &kp, &mut r_ref);
+    let r_norm_ref = vecops::norm_inf(&r_ref);
+    let r2_ref = vecops::norm2(&r_ref);
+    let mut y_ref = r0.clone();
+    vecops::xpby(&p, -0.37, &mut y_ref);
+    let d_ref = vecops::dot(&y_ref, &w);
+
+    for t in [1usize, 2, 4, 8] {
+        par::set_max_threads(t);
+        let mut u = u0.clone();
+        let mut r = r0.clone();
+        let norms = vecops::fused_axpy_axpy_norm(alpha, &p, &kp, &mut u, &mut r);
+        assert_eq!(bits(&u), bits(&u_ref), "fused u, t = {t}");
+        assert_eq!(bits(&r), bits(&r_ref), "fused r, t = {t}");
+        assert_eq!(norms.p_norm_inf.to_bits(), p_norm_ref.to_bits(), "t = {t}");
+        assert_eq!(norms.r_norm_inf.to_bits(), r_norm_ref.to_bits(), "t = {t}");
+        assert_eq!(
+            vecops::norm2_with_max(&r, norms.r_norm_inf).to_bits(),
+            r2_ref.to_bits(),
+            "fused norm2, t = {t}"
+        );
+        let mut y = r0.clone();
+        let d = vecops::fused_xpby_dot(&p, -0.37, &mut y, &w);
+        assert_eq!(bits(&y), bits(&y_ref), "fused xpby, t = {t}");
+        assert_eq!(d.to_bits(), d_ref.to_bits(), "fused dot, t = {t}");
+    }
+    par::set_max_threads(before);
+}
+
+/// The batched multi-RHS solver must reproduce the standalone solves
+/// bitwise for every thread count — in both parallel regimes it selects.
+#[test]
+fn multi_rhs_batch_bitwise_across_thread_counts() {
+    let _guard = sweep_lock();
+    let (matrix, colors, rhs) = ordered_poisson(48); // small: RHS-level regime
+    let n = matrix.rows();
+    let pre = MStepSsorPreconditioner::unparametrized(&matrix, &colors, 2).unwrap();
+    let opts = PcgOptions {
+        tol: 1e-9,
+        ..Default::default()
+    };
+    let nrhs = 6;
+    let f: Vec<f64> = (0..nrhs)
+        .flat_map(|j| rhs.iter().map(move |v| v * (1.0 + 0.25 * j as f64)))
+        .collect();
+
+    let before = par::max_threads();
+    par::set_max_threads(1);
+    let mut ws1 = MultiRhsWorkspace::new(n, nrhs);
+    let mut u1 = vec![0.0; nrhs * n];
+    pcg_solve_multi(&matrix, &f, &mut u1, &pre, &opts, &mut ws1).unwrap();
+    for t in [2usize, 4, 8] {
+        par::set_max_threads(t);
+        let mut ws = MultiRhsWorkspace::new(n, nrhs);
+        let mut u = vec![0.0; nrhs * n];
+        pcg_solve_multi(&matrix, &f, &mut u, &pre, &opts, &mut ws).unwrap();
+        assert_eq!(bits(&u1), bits(&u), "multi-RHS batch differs at t = {t}");
     }
     par::set_max_threads(before);
 }
