@@ -2,14 +2,16 @@
 //! on the color-blocked plate matrix — the §3.1 storage decision, measured
 //! on modern hardware; (b) serial vs pool-parallel CSR SpMV on a 512×512
 //! red/black Poisson problem (262 144 unknowns, ~1.3 M stored entries) —
-//! the data-parallel kernel layer's headline speedup.
+//! the data-parallel kernel layer's headline speedup; (c) CSR vs SELL-C-σ
+//! on the wide-row (arrow) family — the row-length-irregular shapes the
+//! SELL layout exists for.
 //!
 //! Record results: `cargo bench -p mspcg-bench --bench spmv -- --json
-//! BENCH_pr1.json`.
+//! BENCH_pr3.json` (PR 1 recorded groups (a)/(b) as BENCH_pr1.json).
 
 use mspcg_bench::experiments::{ordered_plate, ordered_poisson};
 use mspcg_bench::timing::{bench, finish, BenchResult};
-use mspcg_sparse::{par, DiaMatrix};
+use mspcg_sparse::{par, CooMatrix, DiaMatrix, SellCsMatrix, SparseOp};
 use std::hint::black_box;
 
 fn bench_csr_vs_dia(results: &mut Vec<BenchResult>) {
@@ -72,9 +74,91 @@ fn bench_serial_vs_parallel(results: &mut Vec<BenchResult>) {
     }));
 }
 
+/// The wide-row family: `head` dense rows over a short (tridiagonal) body
+/// — the arrow shape multipoint constraints and boundary condensation
+/// produce, where CSR pays a per-row loop for every 3-entry body row and
+/// row-count chunking lets the dense head serialize a pool. SELL-C-σ
+/// groups the dense rows into their own slices (σ-sort) and streams the
+/// short-row body C rows per loop.
+fn arrow_matrix(n: usize, head: usize) -> mspcg_sparse::CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 8.0).unwrap();
+        if i + 1 < n {
+            coo.push_sym(i, i + 1, -1.0).unwrap();
+        }
+    }
+    for d in 0..head {
+        for j in head..n {
+            coo.push(d, j, -1e-3 * (d + 1) as f64).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+fn bench_csr_vs_sellcs_wide_rows(results: &mut Vec<BenchResult>) {
+    for (n, head) in [(60_000usize, 8usize), (120_000, 16)] {
+        let a = arrow_matrix(n, head);
+        let sell = SellCsMatrix::from_csr_default(&a);
+        println!(
+            "    arrow n = {n}, head = {head}: nnz = {}, SELL padding = {:.1}%",
+            a.nnz(),
+            sell.padding_ratio() * 100.0
+        );
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 + 7) % 1013) as f64 * 1e-3)
+            .collect();
+        let mut y = vec![0.0; n];
+
+        let hw = par::max_threads();
+        par::set_max_threads(1);
+        let csr_serial = bench(&format!("spmv_arrow_n{n}"), "csr_serial", || {
+            a.mul_vec_into(black_box(&x), black_box(&mut y));
+        });
+        let sell_serial = bench(&format!("spmv_arrow_n{n}"), "sellcs_serial", || {
+            SparseOp::mul_vec_into(&sell, black_box(&x), black_box(&mut y));
+        });
+        println!(
+            "    SELL-C-σ vs CSR (serial): {:.2}x",
+            csr_serial.mean_ns / sell_serial.mean_ns
+        );
+        let csr_mean = csr_serial.mean_ns;
+        let sell_mean = sell_serial.mean_ns;
+        results.push(csr_serial);
+        results.push(sell_serial);
+
+        for t in [2usize, 4, 8] {
+            if t > par::pool_capacity() {
+                break;
+            }
+            par::set_max_threads(t);
+            let rc = bench(&format!("spmv_arrow_n{n}"), &format!("csr_par{t}"), || {
+                a.mul_vec_into(black_box(&x), black_box(&mut y));
+            });
+            let rs = bench(
+                &format!("spmv_arrow_n{n}"),
+                &format!("sellcs_par{t}"),
+                || {
+                    SparseOp::mul_vec_into(&sell, black_box(&x), black_box(&mut y));
+                },
+            );
+            println!(
+                "    SELL-C-σ vs CSR at {t} threads: {:.2}x (CSR {:.2}x / SELL {:.2}x over serial)",
+                rc.mean_ns / rs.mean_ns,
+                csr_mean / rc.mean_ns,
+                sell_mean / rs.mean_ns
+            );
+            results.push(rc);
+            results.push(rs);
+        }
+        par::set_max_threads(hw);
+    }
+}
+
 fn main() {
     let mut results = Vec::new();
     bench_csr_vs_dia(&mut results);
     bench_serial_vs_parallel(&mut results);
+    bench_csr_vs_sellcs_wide_rows(&mut results);
     finish(&results);
 }

@@ -11,9 +11,8 @@ use std::sync::Arc;
 
 fn main() {
     let (_, ord) = ordered_plate(48).expect("plate");
-    let solver =
-        ParallelMStepPcg::shared(Arc::new(ord.matrix), Arc::new(ord.colors), vec![1.0, 1.0])
-            .expect("solver");
+    let solver = ParallelMStepPcg::shared(&ord.matrix, Arc::new(ord.colors), vec![1.0, 1.0])
+        .expect("solver");
     let mut results = Vec::new();
     for threads in [1usize, 2, 4] {
         let opts = ParallelSolverOptions {

@@ -19,7 +19,7 @@ use crate::coeffs::{least_squares_alphas, minimax_alphas, spd_margin, Weight};
 use crate::preconditioner::Preconditioner;
 use crate::splitting::{JacobiSplitting, Splitting};
 use crate::ssor::MulticolorSsor;
-use mspcg_sparse::{CsrMatrix, Partition, SparseError};
+use mspcg_sparse::{CsrMatrix, Partition, SparseError, SparseOp};
 use std::sync::Arc;
 
 /// Power-iteration budget used when a constructor must estimate the
@@ -168,6 +168,38 @@ impl MStepSsorPreconditioner {
         m: usize,
     ) -> Result<Self, SparseError> {
         Self::unparametrized_shared(Arc::new(a.clone()), Arc::new(colors.clone()), m)
+    }
+
+    /// Unparametrized m-step SSOR (ω = 1) from a color-blocked operator in
+    /// **any** [`SparseOp`] format: the SSOR sweep structure is
+    /// materialized via [`MulticolorSsor::from_op`], so a solver driving
+    /// its SpMV through SELL-C-σ (or any future format) gets a
+    /// preconditioner bitwise identical to the CSR-built one.
+    ///
+    /// # Errors
+    /// Propagates [`MulticolorSsor::new`] validation errors.
+    pub fn unparametrized_op<A: SparseOp>(
+        a: &A,
+        colors: &Partition,
+        m: usize,
+    ) -> Result<Self, SparseError> {
+        let s = MulticolorSsor::from_op(a, Arc::new(colors.clone()), 1.0)?;
+        Self::new_unparametrized(s, m)
+    }
+
+    /// Least-squares parametrized m-step SSOR (ω = 1) from a
+    /// color-blocked operator in any [`SparseOp`] format — the generic
+    /// twin of [`MStepSsorPreconditioner::parametrized`].
+    ///
+    /// # Errors
+    /// Propagates construction, estimation and SPD-check errors.
+    pub fn parametrized_op<A: SparseOp>(
+        a: &A,
+        colors: &Partition,
+        m: usize,
+    ) -> Result<Self, SparseError> {
+        let s = MulticolorSsor::from_op(a, Arc::new(colors.clone()), 1.0)?;
+        Self::new_least_squares(s, m, Weight::Uniform)
     }
 
     /// Unparametrized m-step SSOR (ω = 1) sharing the system via `Arc` —

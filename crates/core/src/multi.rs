@@ -12,7 +12,7 @@
 //!   the multicolor SSOR's internal mutex-guarded half-sum cache, so
 //!   concurrent applications never serialize on a lock).
 //! * **Two parallel regimes** — a *large* matrix (at or above
-//!   [`par::PAR_MIN_NNZ`] stored entries) keeps the right-hand sides
+//!   [`tuning::par_min_nnz`] stored entries) keeps the right-hand sides
 //!   sequential and lets every kernel inside the solve fan out across the
 //!   worker pool (kernel-level parallelism); a *small* matrix runs whole
 //!   right-hand sides on different workers (RHS-level parallelism), whose
@@ -22,7 +22,7 @@
 //!   extends the counting-allocator proof to 32 right-hand sides).
 //! * **Determinism** — every right-hand side is solved by the same
 //!   chunk-deterministic kernels, so each solution is bitwise identical
-//!   to its standalone [`pcg_solve_into`] run, for any thread count and
+//!   to its standalone [`crate::pcg::pcg_solve_into`] run, for any thread count and
 //!   either parallel regime.
 //!
 //! Budget exhaustion on one right-hand side is recorded in that RHS's
@@ -31,7 +31,7 @@
 
 use crate::pcg::{pcg_try_solve_into, PcgOptions, PcgReport, PcgStats, PcgWorkspace};
 use crate::preconditioner::Preconditioner;
-use mspcg_sparse::{par, CsrMatrix, SparseError};
+use mspcg_sparse::{par, tuning, SparseError, SparseOp};
 
 /// How one right-hand side of a batch ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,8 +214,8 @@ impl BatchPtrs {
 /// [`SparseError::NotSquare`] for a rectangular matrix,
 /// [`SparseError::ShapeMismatch`] when `f.len()` is not a multiple of `n`,
 /// `u.len() != f.len()`, or the preconditioner dimension differs.
-pub fn pcg_solve_multi(
-    k: &CsrMatrix,
+pub fn pcg_solve_multi<A: SparseOp>(
+    k: &A,
     f: &[f64],
     u: &mut [f64],
     m: &(impl Preconditioner + Sync),
@@ -252,7 +252,7 @@ pub fn pcg_solve_multi(
     // that threshold a whole solve is far cheaper than a pool launch per
     // kernel, so distinct right-hand sides become the unit of parallel
     // work instead.
-    let rhs_threads = if k.nnz() >= par::PAR_MIN_NNZ {
+    let rhs_threads = if k.nnz() >= tuning::par_min_nnz() {
         1
     } else {
         par::max_threads().min(nrhs)
@@ -312,8 +312,8 @@ pub fn pcg_solve_multi(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn solve_one(
-    k: &CsrMatrix,
+fn solve_one<A: SparseOp>(
+    k: &A,
     f: &[f64],
     u: &mut [f64],
     m: &impl Preconditioner,
@@ -332,8 +332,8 @@ fn solve_one(
     )
 }
 
-fn solve_one_into(
-    k: &CsrMatrix,
+fn solve_one_into<A: SparseOp>(
+    k: &A,
     fi: &[f64],
     ui: &mut [f64],
     m: &impl Preconditioner,
@@ -365,6 +365,7 @@ mod tests {
     use crate::mstep::MStepSsorPreconditioner;
     use crate::pcg::pcg_solve_into;
     use mspcg_coloring::Coloring;
+    use mspcg_sparse::CsrMatrix;
     use mspcg_sparse::{CooMatrix, Partition};
 
     fn rb_laplacian(n: usize) -> (CsrMatrix, Partition) {

@@ -23,7 +23,7 @@
 //! both return typed errors instead of silently diverging.
 
 use crate::preconditioner::{IdentityPreconditioner, Preconditioner};
-use mspcg_sparse::{vecops, CsrMatrix, SparseError};
+use mspcg_sparse::{vecops, SparseError, SparseOp};
 
 /// Convergence test selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -201,8 +201,8 @@ impl PcgWorkspace {
 /// * [`SparseError::NotPositiveDefinite`] on inner-product breakdown
 ///   (indefinite `K` or preconditioner),
 /// * [`SparseError::DidNotConverge`] when the budget is exhausted.
-pub fn pcg_solve(
-    k: &CsrMatrix,
+pub fn pcg_solve<A: SparseOp>(
+    k: &A,
     f: &[f64],
     m: &impl Preconditioner,
     opts: &PcgOptions,
@@ -218,8 +218,8 @@ pub fn pcg_solve(
 ///
 /// # Errors
 /// Same classes as [`pcg_solve`].
-pub fn pcg_solve_from(
-    k: &CsrMatrix,
+pub fn pcg_solve_from<A: SparseOp>(
+    k: &A,
     f: &[f64],
     u0: &[f64],
     m: &impl Preconditioner,
@@ -263,8 +263,8 @@ pub fn pcg_solve_from(
 ///
 /// # Errors
 /// Same classes as [`pcg_solve`].
-pub fn pcg_solve_into(
-    k: &CsrMatrix,
+pub fn pcg_solve_into<A: SparseOp>(
+    k: &A,
     f: &[f64],
     u: &mut [f64],
     m: &impl Preconditioner,
@@ -292,8 +292,8 @@ pub fn pcg_solve_into(
 ///
 /// # Errors
 /// Shape violations and inner-product breakdowns only.
-pub fn pcg_try_solve_into(
-    k: &CsrMatrix,
+pub fn pcg_try_solve_into<A: SparseOp>(
+    k: &A,
     f: &[f64],
     u: &mut [f64],
     m: &impl Preconditioner,
@@ -461,7 +461,11 @@ pub fn pcg_try_solve_into(
 ///
 /// # Errors
 /// Same classes as [`pcg_solve`].
-pub fn cg_solve(k: &CsrMatrix, f: &[f64], opts: &PcgOptions) -> Result<PcgSolution, SparseError> {
+pub fn cg_solve<A: SparseOp>(
+    k: &A,
+    f: &[f64],
+    opts: &PcgOptions,
+) -> Result<PcgSolution, SparseError> {
     pcg_solve(k, f, &IdentityPreconditioner::new(f.len()), opts)
 }
 
@@ -471,6 +475,7 @@ mod tests {
     use crate::mstep::MStepSsorPreconditioner;
     use crate::preconditioner::DiagonalPreconditioner;
     use mspcg_coloring::Coloring;
+    use mspcg_sparse::CsrMatrix;
     use mspcg_sparse::{CooMatrix, Partition};
 
     fn laplacian(n: usize) -> CsrMatrix {

@@ -16,7 +16,7 @@
 //! The multicolor SSOR splitting lives in [`crate::ssor`].
 
 use mspcg_sparse::lanczos::{lanczos_extremes, power_spectral_radius};
-use mspcg_sparse::{CsrMatrix, SparseError};
+use mspcg_sparse::{CsrMatrix, SparseError, SparseOp};
 use std::cell::RefCell;
 
 /// A convergent splitting `K = P − Q` with SPD `P`.
@@ -82,21 +82,29 @@ pub trait Splitting {
     }
 }
 
-/// `P = diag(K)` — the Jacobi (point) splitting.
+/// `P = diag(K)` — the Jacobi (point) splitting, over any operator format
+/// (the step is one SpMV plus a pointwise diagonal solve, so it needs
+/// nothing from the storage beyond [`SparseOp::mul_vec_into`] and the
+/// [`SparseOp::diag_into`] hook).
 #[derive(Debug)]
-pub struct JacobiSplitting {
-    a: CsrMatrix,
+pub struct JacobiSplitting<A: SparseOp = CsrMatrix> {
+    a: A,
     inv_diag: Vec<f64>,
     scratch: RefCell<Vec<f64>>,
 }
 
-impl JacobiSplitting {
-    /// Build from an SPD matrix.
+impl<A: SparseOp + Clone> JacobiSplitting<A> {
+    /// Build from an SPD matrix in any [`SparseOp`] format.
     ///
     /// # Errors
     /// [`SparseError::NotSquare`] or [`SparseError::ZeroDiagonal`].
-    pub fn new(a: &CsrMatrix) -> Result<Self, SparseError> {
-        let diag = a.diag()?;
+    pub fn new(a: &A) -> Result<Self, SparseError> {
+        let (rows, cols) = a.dims();
+        if rows != cols {
+            return Err(SparseError::NotSquare { rows, cols });
+        }
+        let mut diag = vec![0.0; rows];
+        a.diag_into(&mut diag);
         let mut inv_diag = Vec::with_capacity(diag.len());
         for (i, &d) in diag.iter().enumerate() {
             if d <= 0.0 || !d.is_finite() {
@@ -110,14 +118,16 @@ impl JacobiSplitting {
             scratch: RefCell::new(vec![0.0; diag.len()]),
         })
     }
+}
 
+impl<A: SparseOp> JacobiSplitting<A> {
     /// The underlying matrix.
-    pub fn matrix(&self) -> &CsrMatrix {
+    pub fn matrix(&self) -> &A {
         &self.a
     }
 }
 
-impl Splitting for JacobiSplitting {
+impl<A: SparseOp> Splitting for JacobiSplitting<A> {
     fn dim(&self) -> usize {
         self.a.rows()
     }
@@ -134,13 +144,21 @@ impl Splitting for JacobiSplitting {
     }
 
     /// Exact extremes of `σ(D⁻¹K)` via Lanczos on the similar *symmetric*
-    /// matrix `D^{-1/2} K D^{-1/2}`.
+    /// operator `D^{-1/2} K D^{-1/2}`, applied matrix-free
+    /// (`y = D^{-1/2}·(K·(D^{-1/2}x))`) so no format needs a symmetric
+    /// rescaling primitive.
     fn spectrum_interval(&self, iters: usize) -> Result<(f64, f64), SparseError> {
         let n = self.dim();
         let dhalf: Vec<f64> = self.inv_diag.iter().map(|d| d.sqrt()).collect();
-        let scaled = self.a.scale_sym(&dhalf);
+        let mut tmp = vec![0.0; n];
         let est = lanczos_extremes(n, iters.clamp(8, n), 0x5EED, |x, y| {
-            scaled.mul_vec_into(x, y)
+            for i in 0..n {
+                tmp[i] = dhalf[i] * x[i];
+            }
+            self.a.mul_vec_into(&tmp, y);
+            for i in 0..n {
+                y[i] *= dhalf[i];
+            }
         })?;
         let est = est.widened(0.02);
         Ok((est.min.max(1e-12), est.max))

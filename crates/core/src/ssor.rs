@@ -48,7 +48,7 @@
 use crate::splitting::Splitting;
 use mspcg_sparse::lanczos::power_spectral_radius;
 use mspcg_sparse::par::{self, ParSlice};
-use mspcg_sparse::{CsrMatrix, Partition, SparseError};
+use mspcg_sparse::{tuning, CsrMatrix, Partition, SparseError, SparseOp};
 use std::sync::{Arc, Mutex};
 
 /// Multicolor SSOR(ω) splitting of a color-blocked SPD matrix.
@@ -165,6 +165,24 @@ impl MulticolorSsor {
         })
     }
 
+    /// Build from a color-blocked operator in **any** [`SparseOp`]
+    /// format: the splitting's sweep structure (split CSR arrays walked
+    /// row-by-row in color order) is materialized once via
+    /// [`SparseOp::csr_copy`]. Because `csr_copy` reproduces the stored
+    /// entries in ascending-column order, the resulting splitting is
+    /// bitwise identical to one built from the original CSR matrix —
+    /// solving through SELL-C-σ replays the CSR preconditioner exactly.
+    ///
+    /// # Errors
+    /// Same classes as [`MulticolorSsor::new`].
+    pub fn from_op<A: SparseOp>(
+        a: &A,
+        colors: impl Into<Arc<Partition>>,
+        omega: f64,
+    ) -> Result<Self, SparseError> {
+        Self::new(Arc::new(a.csr_copy()), colors, omega)
+    }
+
     /// The relaxation parameter.
     pub fn omega(&self) -> f64 {
         self.omega
@@ -272,7 +290,7 @@ impl MulticolorSsor {
         for c in 0..nb {
             let blk = self.colors.range(c);
             let last = c == nb - 1;
-            let threads = par::threads_for(self.block_nnz(&blk), par::PAR_MIN_NNZ);
+            let threads = par::threads_for(self.block_nnz(&blk), tuning::par_min_nnz());
             if threads <= 1 {
                 for i in blk {
                     let lower = self.lower_sum(i, x);
@@ -283,11 +301,11 @@ impl MulticolorSsor {
             } else {
                 let xs = ParSlice::new(x);
                 let ys = ParSlice::new(y);
-                let (chunk, nchunks) = par::row_layout(blk.len());
+                let (chunk_nnz, nchunks) = par::spmv_layout(self.block_nnz(&blk));
                 par::for_each_chunk(nchunks, threads, &|ci| {
-                    let lo = blk.start + ci * chunk;
-                    let hi = (lo + chunk).min(blk.end);
-                    for i in lo..hi {
+                    let rows =
+                        par::spmv_chunk_rows_range(self.a.row_ptr(), blk.clone(), chunk_nnz, ci);
+                    for i in rows {
                         // SAFETY: row i is owned by this chunk (disjoint
                         // chunks of one color block); reads touch other
                         // colors only — the multicolor property.
@@ -319,7 +337,7 @@ impl MulticolorSsor {
         let nb = self.colors.num_blocks();
         for c in 0..nb {
             let blk = self.colors.range(c);
-            let threads = par::threads_for(self.block_nnz(&blk), par::PAR_MIN_NNZ);
+            let threads = par::threads_for(self.block_nnz(&blk), tuning::par_min_nnz());
             if threads <= 1 {
                 for i in blk {
                     let lower = self.lower_sum(i, x);
@@ -329,11 +347,11 @@ impl MulticolorSsor {
             } else {
                 let xs = ParSlice::new(x);
                 let ys = ParSlice::new(y);
-                let (chunk, nchunks) = par::row_layout(blk.len());
+                let (chunk_nnz, nchunks) = par::spmv_layout(self.block_nnz(&blk));
                 par::for_each_chunk(nchunks, threads, &|ci| {
-                    let lo = blk.start + ci * chunk;
-                    let hi = (lo + chunk).min(blk.end);
-                    for i in lo..hi {
+                    let rows =
+                        par::spmv_chunk_rows_range(self.a.row_ptr(), blk.clone(), chunk_nnz, ci);
+                    for i in rows {
                         // SAFETY: as in forward_cached; additionally, the
                         // lower sums of color 0 are empty and of color c>0
                         // read only rows written in earlier (barriered)
@@ -355,7 +373,7 @@ impl MulticolorSsor {
     fn backward_cached(&self, scale: f64, b: &[f64], x: &mut [f64], y: &mut [f64], from: usize) {
         for c in (0..=from).rev() {
             let blk = self.colors.range(c);
-            let threads = par::threads_for(self.block_nnz(&blk), par::PAR_MIN_NNZ);
+            let threads = par::threads_for(self.block_nnz(&blk), tuning::par_min_nnz());
             if threads <= 1 {
                 for i in blk {
                     let upper = self.upper_sum(i, x);
@@ -366,11 +384,11 @@ impl MulticolorSsor {
             } else {
                 let xs = ParSlice::new(x);
                 let ys = ParSlice::new(y);
-                let (chunk, nchunks) = par::row_layout(blk.len());
+                let (chunk_nnz, nchunks) = par::spmv_layout(self.block_nnz(&blk));
                 par::for_each_chunk(nchunks, threads, &|ci| {
-                    let lo = blk.start + ci * chunk;
-                    let hi = (lo + chunk).min(blk.end);
-                    for i in lo..hi {
+                    let rows =
+                        par::spmv_chunk_rows_range(self.a.row_ptr(), blk.clone(), chunk_nnz, ci);
+                    for i in rows {
                         // SAFETY: as in forward_cached, mirrored.
                         unsafe {
                             let upper = self.upper_sum_shared(i, &xs);

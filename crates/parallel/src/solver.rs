@@ -34,7 +34,7 @@
 
 use crate::barrier::SpinBarrier;
 use crate::shared::{slot, ScalarBank, SharedVec};
-use mspcg_sparse::{vecops, CsrMatrix, Partition, SparseError};
+use mspcg_sparse::{vecops, Partition, SparseError, SparseOp};
 use std::sync::Arc;
 
 /// Options for the threaded solver.
@@ -84,72 +84,96 @@ mod status {
     pub const BUDGET: f64 = 4.0;
 }
 
-/// The threaded m-step SSOR PCG solver (ω = 1).
+/// The threaded m-step SSOR PCG solver (ω = 1), constructible from a
+/// color-blocked operator in **any** [`SparseOp`] format.
 ///
-/// Holds the system behind [`Arc`] so a solver and the sequential
-/// reference (or several solvers) can share one matrix without copies.
+/// Both the SSOR color sweeps (half-sums split at the own-color block) and
+/// the strip `K·p` products need *indexed row structure*, which no
+/// SpMV-oriented format is required to expose — so construction extracts
+/// one private split-CSR sweep table through [`SparseOp::visit_row`] and
+/// every iteration phase streams that single table (the source operator
+/// is not retained: per-worker strips are tiny, so a format's slice/block
+/// kernels could not be engaged anyway, and holding it would double the
+/// matrix memory). The extraction walks rows in ascending column order,
+/// so two formats storing the same matrix produce identical tables and
+/// therefore **bitwise-identical** solver runs.
 pub struct ParallelMStepPcg {
-    matrix: Arc<CsrMatrix>,
     colors: Arc<Partition>,
     alphas: Vec<f64>,
     inv_diag: Vec<f64>,
+    /// Extracted sweep structure (ascending columns per row).
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    /// Per row: sweep-table index of the first entry with column ≥
+    /// own-block start / end.
     lo_split: Vec<usize>,
     hi_split: Vec<usize>,
 }
 
 impl ParallelMStepPcg {
-    /// Build from a color-blocked matrix, cloning it once. `alphas` empty
-    /// means plain CG (no preconditioner); otherwise `alphas[i]` multiplies
-    /// `Gⁱ P⁻¹` (all-ones = unparametrized m-step). Callers that already
-    /// hold `Arc`s should use [`ParallelMStepPcg::shared`].
+    /// Build from a color-blocked operator in any [`SparseOp`] format.
+    /// `alphas` empty means plain CG (no preconditioner); otherwise
+    /// `alphas[i]` multiplies `Gⁱ P⁻¹` (all-ones = unparametrized m-step).
     ///
     /// # Errors
     /// Same validation as the sequential `MulticolorSsor` (square matrix,
     /// diagonal color blocks, positive diagonal).
-    pub fn new(
-        matrix: &CsrMatrix,
+    pub fn new<A: SparseOp>(
+        matrix: &A,
         colors: &Partition,
         alphas: Vec<f64>,
     ) -> Result<Self, SparseError> {
-        Self::shared(Arc::new(matrix.clone()), Arc::new(colors.clone()), alphas)
+        Self::shared(matrix, Arc::new(colors.clone()), alphas)
     }
 
-    /// Build from shared handles — no matrix or partition copy.
+    /// [`ParallelMStepPcg::new`] with a shared partition handle (no
+    /// partition copy; the operator is only read during construction).
     ///
     /// # Errors
     /// Same classes as [`ParallelMStepPcg::new`].
-    pub fn shared(
-        matrix: Arc<CsrMatrix>,
+    pub fn shared<A: SparseOp>(
+        matrix: &A,
         colors: Arc<Partition>,
         alphas: Vec<f64>,
     ) -> Result<Self, SparseError> {
-        if matrix.rows() != matrix.cols() {
-            return Err(SparseError::NotSquare {
-                rows: matrix.rows(),
-                cols: matrix.cols(),
-            });
+        let (rows, cols) = matrix.dims();
+        if rows != cols {
+            return Err(SparseError::NotSquare { rows, cols });
         }
-        if colors.total_len() != matrix.rows() {
+        if colors.total_len() != rows {
             return Err(SparseError::ShapeMismatch {
-                left: (matrix.rows(), matrix.cols()),
+                left: (rows, cols),
                 right: (colors.total_len(), 1),
             });
         }
-        let n = matrix.rows();
+        let n = rows;
+        // Extract the sweep table: per-row (col, value) pairs in ascending
+        // column order — the order every SparseOp streams.
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for i in 0..n {
+            matrix.visit_row(i, &mut |j, v| {
+                col_idx.push(j as u32);
+                values.push(v);
+            });
+            row_ptr[i + 1] = col_idx.len();
+        }
         let mut inv_diag = vec![0.0; n];
         let mut lo_split = vec![0usize; n];
         let mut hi_split = vec![0usize; n];
         for c in 0..colors.num_blocks() {
             let blk = colors.range(c);
             for i in blk.clone() {
-                let row_lo = matrix.row_ptr()[i];
-                let row_hi = matrix.row_ptr()[i + 1];
-                let cols_slice = &matrix.col_idx()[row_lo..row_hi];
+                let row_lo = row_ptr[i];
+                let row_hi = row_ptr[i + 1];
+                let cols_slice = &col_idx[row_lo..row_hi];
                 let lo = row_lo + cols_slice.partition_point(|&j| (j as usize) < blk.start);
                 let hi = row_lo + cols_slice.partition_point(|&j| (j as usize) < blk.end);
                 match hi - lo {
-                    1 if matrix.col_idx()[lo] as usize == i => {
-                        let d = matrix.values()[lo];
+                    1 if col_idx[lo] as usize == i => {
+                        let d = values[lo];
                         if d <= 0.0 || !d.is_finite() {
                             return Err(SparseError::ZeroDiagonal { row: i });
                         }
@@ -167,10 +191,12 @@ impl ParallelMStepPcg {
             }
         }
         Ok(ParallelMStepPcg {
-            matrix,
             colors,
             alphas,
             inv_diag,
+            row_ptr,
+            col_idx,
+            values,
             lo_split,
             hi_split,
         })
@@ -181,12 +207,31 @@ impl ParallelMStepPcg {
         self.alphas.len()
     }
 
+    /// System dimension.
+    #[inline]
+    fn dim(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Serial SpMV over the worker's strip, off the extracted sweep table
+    /// (same per-row ascending-column order as every `SparseOp` kernel).
+    #[inline]
+    fn strip_spmv(&self, x: &[f64], y: &mut [f64], rows: std::ops::Range<usize>) {
+        for (k, i) in rows.enumerate() {
+            let mut acc = 0.0;
+            for j in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[j] * x[self.col_idx[j] as usize];
+            }
+            y[k] = acc;
+        }
+    }
+
     fn resolve_threads(&self, requested: usize) -> usize {
         let hw = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
         let t = if requested == 0 { hw.min(8) } else { requested };
-        t.clamp(1, self.matrix.rows().max(1))
+        t.clamp(1, self.dim().max(1))
     }
 
     /// Solve `K u = f` from the zero initial guess.
@@ -200,7 +245,7 @@ impl ParallelMStepPcg {
         f: &[f64],
         opts: &ParallelSolverOptions,
     ) -> Result<ParallelSolveReport, SparseError> {
-        let n = self.matrix.rows();
+        let n = self.dim();
         if f.len() != n {
             return Err(SparseError::ShapeMismatch {
                 left: (n, n),
@@ -376,7 +421,7 @@ impl ParallelMStepPcg {
             unsafe {
                 let pv = p.read();
                 let out = kp.write(own.clone());
-                self.matrix.mul_vec_range_into(pv, out, own.clone());
+                self.strip_spmv(pv, out, own.clone());
                 dot_partials.write_at(t, vecops::dot(&pv[own.clone()], out));
             }
             barrier.wait();
@@ -578,13 +623,13 @@ impl ParallelMStepPcg {
     #[inline]
     fn half_sum(&self, i: usize, x: &[f64], lower: bool) -> f64 {
         let (from, to) = if lower {
-            (self.matrix.row_ptr()[i], self.lo_split[i])
+            (self.row_ptr[i], self.lo_split[i])
         } else {
-            (self.hi_split[i], self.matrix.row_ptr()[i + 1])
+            (self.hi_split[i], self.row_ptr[i + 1])
         };
         let mut s = 0.0;
         for k in from..to {
-            s += self.matrix.values()[k] * x[self.matrix.col_idx()[k] as usize];
+            s += self.values[k] * x[self.col_idx[k] as usize];
         }
         s
     }
@@ -595,6 +640,7 @@ mod tests {
     use super::*;
     use mspcg_core::{pcg_solve, MStepSsorPreconditioner, PcgOptions};
     use mspcg_fem::plate::PlaneStressProblem;
+    use mspcg_sparse::CsrMatrix;
 
     fn plate(a: usize) -> (CsrMatrix, Partition, Vec<f64>) {
         let asm = PlaneStressProblem::unit_square(a).assemble().unwrap();
@@ -696,6 +742,39 @@ mod tests {
         assert_eq!(r1.iterations, r4.iterations);
         for (u, v) in r1.x.iter().zip(&r4.x) {
             assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    /// The acceptance gate of the operator abstraction: the SPMD solver
+    /// driven through SELL-C-σ must replay the CSR run bitwise — same
+    /// iterates, same iteration count, same final change — at every
+    /// thread count.
+    #[test]
+    fn sellcs_operator_replays_csr_solver_bitwise() {
+        let (a, colors, rhs) = plate(8);
+        let sell = mspcg_sparse::SellCsMatrix::from_csr_default(&a);
+        let par_csr = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let par_sell = ParallelMStepPcg::new(&sell, &colors, vec![1.0; 2]).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let opts = ParallelSolverOptions {
+                threads,
+                tol: 1e-9,
+                max_iterations: 10_000,
+            };
+            let rc = par_csr.solve(&rhs, &opts).unwrap();
+            let rs = par_sell.solve(&rhs, &opts).unwrap();
+            assert_eq!(rc.iterations, rs.iterations, "threads = {threads}");
+            assert_eq!(
+                rc.final_change.to_bits(),
+                rs.final_change.to_bits(),
+                "threads = {threads}"
+            );
+            assert!(
+                rc.x.iter()
+                    .zip(&rs.x)
+                    .all(|(u, v)| u.to_bits() == v.to_bits()),
+                "solution differs between formats at threads = {threads}"
+            );
         }
     }
 

@@ -16,6 +16,7 @@
 use crate::error::SparseError;
 use crate::par;
 use crate::permute::Permutation;
+use crate::tuning;
 
 /// Sparse matrix in CSR format with sorted, deduplicated columns.
 ///
@@ -233,7 +234,7 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec: y length mismatch");
-        let threads = par::threads_for(self.nnz(), par::PAR_MIN_NNZ);
+        let threads = par::threads_for(self.nnz(), tuning::par_min_nnz());
         if threads <= 1 {
             self.mul_vec_range_into(x, y, 0..self.rows);
             return;
@@ -277,7 +278,7 @@ impl CsrMatrix {
     pub fn mul_vec_axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec_axpy: x length mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec_axpy: y length mismatch");
-        let threads = par::threads_for(self.nnz(), par::PAR_MIN_NNZ);
+        let threads = par::threads_for(self.nnz(), tuning::par_min_nnz());
         if threads <= 1 {
             self.mul_vec_axpy_range(a, x, y, 0..self.rows);
             return;
@@ -406,8 +407,11 @@ impl CsrMatrix {
         Ok((0..self.rows).map(|i| self.get(i, i)).collect())
     }
 
-    /// Symmetric two-sided diagonal scaling `D A D` with `D = diag(d)`
-    /// (used for the unit-diagonal scaling of Johnson–Micchelli–Paul §2.2).
+    /// Symmetric two-sided diagonal scaling `D A D` with `D = diag(d)` —
+    /// the *eager* counterpart of the matrix-free `D·(A·(D·x))` scaling the
+    /// format-generic spectrum estimators apply; kept for callers that
+    /// want the scaled matrix itself (the unit-diagonal scaling of
+    /// Johnson–Micchelli–Paul §2.2).
     ///
     /// # Panics
     /// Panics if `d.len() != rows`.
@@ -769,7 +773,7 @@ mod tests {
             }
         }
         let a = coo.to_csr();
-        assert!(a.nnz() >= crate::par::PAR_MIN_NNZ);
+        assert!(a.nnz() >= crate::tuning::par_min_nnz());
         let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 31) as f64 * 0.1).collect();
         let before = crate::par::max_threads();
         crate::par::set_max_threads(1);

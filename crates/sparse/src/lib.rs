@@ -7,9 +7,16 @@
 //! intrinsics, hand-written FEM kernels). This crate rebuilds the pieces the
 //! method actually needs, from scratch:
 //!
+//! * [`op::SparseOp`] — the **operator abstraction** the whole solver
+//!   stack is generic over (serial + parallel SpMV entry points, shape and
+//!   work queries, chunk-layout scheduling hooks, structure extraction);
+//!   [`op::AutoOp`] picks a format automatically,
 //! * [`coo::CooMatrix`] — triplet builder used by the FEM assembler,
 //! * [`csr::CsrMatrix`] — compressed sparse row storage with sorted columns,
 //!   SpMV, symmetric permutation, transpose and structural queries,
+//! * [`sellcs::SellCsMatrix`] — SELL-C-σ (sliced ELL with sorting): the
+//!   wide-row SpMV layout, lossless CSR round trip, bitwise-identical
+//!   products,
 //! * [`dia::DiaMatrix`] — storage *by diagonals* and the
 //!   Madsen–Rodrigue–Karush diagonal-wise product the CYBER implementation
 //!   relies on (§3.1 of the paper),
@@ -20,7 +27,9 @@
 //! * [`vecops`] — the BLAS-1 kernels PCG is made of,
 //! * [`partition`] — contiguous index partitions (the color blocks of the
 //!   multicolor ordering),
-//! * [`permute`] — permutation vectors and their action on vectors/matrices.
+//! * [`permute`] — permutation vectors and their action on vectors/matrices,
+//! * [`tuning`] — every adaptive threshold, with validated `MSPCG_*`
+//!   environment overrides.
 //!
 //! Everything is `f64`; the solvers in `mspcg-core` are deliberately not
 //! generic over the scalar so that the hot kernels stay monomorphic and easy
@@ -42,15 +51,32 @@
 //! `*_thread_count_insensitive` tests that assert exactly this.
 //!
 //! *Adaptive fallback.* Kernels below a work threshold
-//! ([`par::PAR_MIN_ELEMS`] elements / [`par::PAR_MIN_NNZ`] stored entries)
-//! run serially: waking the pool costs more than the loop. Thread budget:
-//! hardware parallelism by default, pinned by the `MSPCG_THREADS`
-//! environment variable or [`par::set_max_threads`].
+//! ([`tuning::par_min_elems`] elements / [`tuning::par_min_nnz`] stored
+//! entries) run serially: waking the pool costs more than the loop. Every
+//! threshold lives in [`tuning`] and can be overridden per process with a
+//! validated `MSPCG_*` environment variable. Thread budget: hardware
+//! parallelism by default, pinned by the `MSPCG_THREADS` environment
+//! variable or [`par::set_max_threads`].
+//!
+//! *Operator formats.* The solver stack is generic over [`op::SparseOp`],
+//! so storage is a pure performance decision: CSR is the general-purpose
+//! default, and [`sellcs::SellCsMatrix`] (SELL-C-σ) is the layout for
+//! **row-length-irregular** matrices — slices of C rows stored
+//! lane-contiguous and padded to the slice's widest row, with rows sorted
+//! by length inside σ-row windows so slices stay homogeneous. The padding
+//! overhead is `Σ_s C·w_s / nnz − 1` (`w_s` = widest row of slice `s`);
+//! when the row-length spread within a σ window is small the overhead is
+//! near zero, and [`op::AutoOp`] converts automatically only when the
+//! longest row is ≥ 4× the mean *and* the measured overhead stays under
+//! 50 % (`MSPCG_FORCE_FORMAT` pins the choice). Because every format
+//! accumulates each row in ascending column order, products — and whole
+//! solver runs — are **bitwise identical** across formats.
 //!
 //! Build without the feature (`--no-default-features`) for a strictly
 //! serial library with identical numerical results. Measure the speedups
 //! with `cargo bench -p mspcg-bench --bench spmv` (serial vs parallel
-//! groups on a 512×512 red/black Poisson problem).
+//! groups on a 512×512 red/black Poisson problem, plus CSR vs SELL-C-σ on
+//! the wide-row arrow family).
 
 // Indexed `for i in 0..n` loops are deliberate throughout the numeric
 // kernels: they address several parallel arrays (CSR structure, split
@@ -64,9 +90,12 @@ pub mod dense;
 pub mod dia;
 pub mod error;
 pub mod lanczos;
+pub mod op;
 pub mod par;
 pub mod partition;
 pub mod permute;
+pub mod sellcs;
+pub mod tuning;
 pub mod vecops;
 
 pub use coo::CooMatrix;
@@ -74,5 +103,8 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use dia::DiaMatrix;
 pub use error::SparseError;
+pub use op::{AutoOp, SparseOp};
 pub use partition::Partition;
 pub use permute::Permutation;
+pub use sellcs::SellCsMatrix;
+pub use tuning::MatrixFormat;

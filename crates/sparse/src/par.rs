@@ -32,6 +32,7 @@
 //! `MSPCG_THREADS` environment variable, and can be changed at runtime with
 //! [`set_max_threads`] (the determinism tests sweep 1, 2, 4, 8 this way).
 
+use crate::tuning;
 use std::ops::Range;
 
 /// Upper bound on reduction partials (and on chunks handed out per kernel
@@ -42,14 +43,6 @@ pub const MAX_PARTIALS: usize = 256;
 /// Minimum elements per reduction chunk: below this, splitting buys nothing
 /// and the partial array would be dominated by loop overhead.
 pub const MIN_REDUCTION_CHUNK: usize = 1024;
-
-/// BLAS-1 kernels shorter than this always run serially (the launch cost of
-/// waking the pool exceeds the loop cost).
-pub const PAR_MIN_ELEMS: usize = 1 << 15;
-
-/// Sparse kernels (SpMV, SSOR sweeps) with fewer stored entries than this
-/// run serially.
-pub const PAR_MIN_NNZ: usize = 1 << 14;
 
 /// Chunk layout for a deterministic reduction over `n` elements: returns
 /// `(chunk_size, num_chunks)` with `num_chunks <= MAX_PARTIALS`. Depends
@@ -63,34 +56,19 @@ pub fn reduction_layout(n: usize) -> (usize, usize) {
     (chunk, n.div_ceil(chunk))
 }
 
-/// Chunk layout for row-parallel sparse kernels: same shape as
-/// [`reduction_layout`] but with a smaller minimum chunk (rows carry more
-/// work per index than vector elements).
-#[inline]
-pub fn row_layout(rows: usize) -> (usize, usize) {
-    if rows == 0 {
-        return (1, 0);
-    }
-    let chunk = rows.div_ceil(MAX_PARTIALS).max(64);
-    (chunk, rows.div_ceil(chunk))
-}
-
-/// Minimum stored entries per SpMV chunk: below this the chunk-claim
-/// overhead dominates the row loop.
-pub const MIN_SPMV_CHUNK_NNZ: usize = 1 << 9;
-
 /// Chunk layout for **nnz-weighted** sparse row kernels: returns
 /// `(chunk_nnz, num_chunks)` so that each chunk covers roughly `chunk_nnz`
 /// stored entries rather than a fixed row count. Row-count chunking lets a
 /// run of dense-ish rows serialize the pool on irregular FEM matrices; the
-/// nnz weighting balances actual work. Depends only on `nnz`, never on the
+/// nnz weighting balances actual work. Depends only on `nnz` (and the
+/// process-fixed [`tuning::min_spmv_chunk_nnz`] threshold), never on the
 /// thread count, so layouts stay deterministic.
 #[inline]
 pub fn spmv_layout(nnz: usize) -> (usize, usize) {
     if nnz == 0 {
         return (1, 0);
     }
-    let chunk = nnz.div_ceil(MAX_PARTIALS).max(MIN_SPMV_CHUNK_NNZ);
+    let chunk = nnz.div_ceil(MAX_PARTIALS).max(tuning::min_spmv_chunk_nnz());
     (chunk, nnz.div_ceil(chunk))
 }
 
@@ -102,14 +80,33 @@ pub fn spmv_layout(nnz: usize) -> (usize, usize) {
 /// trailing empty rows.
 #[inline]
 pub fn spmv_chunk_rows(row_ptr: &[usize], chunk_nnz: usize, c: usize) -> Range<usize> {
-    let rows = row_ptr.len() - 1;
-    let nnz = row_ptr[rows];
+    spmv_chunk_rows_range(row_ptr, 0..row_ptr.len() - 1, chunk_nnz, c)
+}
+
+/// [`spmv_chunk_rows`] restricted to the row block `rows` of a prefix-sum
+/// array: stored-entry counts are measured relative to
+/// `row_ptr[rows.start]`, and `chunk_nnz` must come from
+/// `spmv_layout(row_ptr[rows.end] − row_ptr[rows.start])`. This is the
+/// schedule the multicolor SSOR color sweeps use — each color block is
+/// chunked by the work its rows actually carry, not by row count — and any
+/// prefix-sum array works (the SELL-C-σ kernel feeds per-slice prefix
+/// sums through the same machinery).
+#[inline]
+pub fn spmv_chunk_rows_range(
+    row_ptr: &[usize],
+    rows: Range<usize>,
+    chunk_nnz: usize,
+    c: usize,
+) -> Range<usize> {
+    let base = row_ptr[rows.start];
+    let nnz = row_ptr[rows.end] - base;
     let (_, nchunks) = spmv_layout(nnz);
-    let lo = row_ptr[..rows].partition_point(|&x| x < c * chunk_nnz);
+    let blk = &row_ptr[rows.start..rows.end];
+    let lo = rows.start + blk.partition_point(|&x| x - base < c * chunk_nnz);
     let hi = if c + 1 >= nchunks {
-        rows
+        rows.end
     } else {
-        row_ptr[..rows].partition_point(|&x| x < (c + 1) * chunk_nnz)
+        rows.start + blk.partition_point(|&x| x - base < (c + 1) * chunk_nnz)
     };
     lo..hi
 }
@@ -196,12 +193,10 @@ impl<'a> ParSlice<'a> {
 /// Parse an `MSPCG_THREADS` value: `Some(n)` for a positive integer,
 /// `None` for anything else (`0`, empty, non-numeric, overflow). A budget
 /// of zero threads is meaningless — it would describe an empty pool — so
-/// it is invalid rather than silently promoted.
+/// it is invalid rather than silently promoted. Shares the
+/// [`tuning::parse_positive`] rules with every other `MSPCG_*` knob.
 pub fn parse_thread_budget(raw: &str) -> Option<usize> {
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n >= 1 => Some(n),
-        _ => None,
-    }
+    tuning::parse_positive(raw)
 }
 
 /// Effective thread count for a kernel touching `work` scalar items: 1 when
@@ -551,7 +546,7 @@ mod tests {
     fn spmv_layout_is_size_only() {
         assert_eq!(spmv_layout(0), (1, 0));
         let (c, k) = spmv_layout(100);
-        assert_eq!((c, k), (MIN_SPMV_CHUNK_NNZ, 1));
+        assert_eq!((c, k), (tuning::min_spmv_chunk_nnz(), 1));
         let (c, k) = spmv_layout(1 << 22);
         assert!(k <= MAX_PARTIALS);
         assert!(c * k >= 1 << 22);
@@ -578,6 +573,34 @@ mod tests {
         // The dense row sits alone in its first chunk(s): chunk 0 covers
         // only row 0 (its 1000 entries span targets 0 and 512).
         assert_eq!(spmv_chunk_rows(&row_ptr, chunk, 0), 0..1);
+    }
+
+    #[test]
+    fn spmv_chunk_rows_range_covers_a_block_by_nnz() {
+        // Rows 2..6 of this prefix sum form a "color block" whose first row
+        // is dense; the block-relative chunks must be contiguous,
+        // exhaustive within the block, and split by stored entries.
+        let row_ptr = vec![0usize, 5, 10, 1010, 1014, 1018, 1022, 1030];
+        let rows = 2usize..6;
+        let blk_nnz = row_ptr[rows.end] - row_ptr[rows.start];
+        let (chunk_nnz, nchunks) = spmv_layout(blk_nnz);
+        let mut covered = Vec::new();
+        let mut prev_end = rows.start;
+        for c in 0..nchunks {
+            let r = spmv_chunk_rows_range(&row_ptr, rows.clone(), chunk_nnz, c);
+            assert_eq!(r.start, prev_end, "chunks must be contiguous");
+            prev_end = r.end;
+            covered.extend(r);
+        }
+        assert_eq!(covered, rows.clone().collect::<Vec<_>>());
+        // Whole-matrix chunking is the rows = 0..n special case.
+        let (full_chunk, full_chunks) = spmv_layout(row_ptr[7]);
+        for c in 0..full_chunks {
+            assert_eq!(
+                spmv_chunk_rows(&row_ptr, full_chunk, c),
+                spmv_chunk_rows_range(&row_ptr, 0..7, full_chunk, c)
+            );
+        }
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //! (axpy, xpby, …) write disjoint chunks and are trivially deterministic.
 //! Large inputs run on the `mspcg-sparse` worker pool (behind the `par`
 //! feature); small inputs take the serial path (see
-//! [`crate::par::PAR_MIN_ELEMS`]).
+//! [`crate::tuning::par_min_elems`]).
 
 use crate::par;
+use crate::tuning;
 
 /// Serial dot kernel over one chunk: four independent partial accumulators,
 /// which both enables vectorization and reduces the rounding error compared
@@ -55,7 +56,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     let n = x.len();
     let (chunk, nchunks) = par::reduction_layout(n);
-    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    let threads = par::threads_for(n, tuning::par_min_elems());
     if threads <= 1 {
         let mut acc = 0.0;
         for c in 0..nchunks {
@@ -85,7 +86,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// Distribute an elementwise update over the fixed chunk layout.
 #[inline]
 fn elementwise(n: usize, y: &mut [f64], body: impl Fn(usize, usize, &mut [f64]) + Sync) {
-    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    let threads = par::threads_for(n, tuning::par_min_elems());
     let (chunk, nchunks) = par::reduction_layout(n);
     if threads <= 1 {
         for c in 0..nchunks {
@@ -163,7 +164,7 @@ pub fn zero(x: &mut [f64]) {
 #[inline]
 fn max_reduce(n: usize, chunk_max: impl Fn(usize, usize) -> f64 + Sync) -> f64 {
     let (chunk, nchunks) = par::reduction_layout(n);
-    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    let threads = par::threads_for(n, tuning::par_min_elems());
     if threads <= 1 {
         let mut m = 0.0f64;
         for c in 0..nchunks {
@@ -218,7 +219,7 @@ pub fn norm2_with_max(x: &[f64], maxabs: f64) -> f64 {
         }
         s
     };
-    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    let threads = par::threads_for(n, tuning::par_min_elems());
     let mut s = 0.0;
     if threads <= 1 {
         for c in 0..nchunks {
@@ -375,7 +376,7 @@ pub fn fused_axpy_axpy_norm(
     assert_eq!(u.len(), n, "fused_axpy_axpy_norm: u length mismatch");
     assert_eq!(r.len(), n, "fused_axpy_axpy_norm: r length mismatch");
     let (chunk, nchunks) = par::reduction_layout(n);
-    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    let threads = par::threads_for(n, tuning::par_min_elems());
     if threads <= 1 {
         let mut out = FusedUpdateNorms::default();
         for c in 0..nchunks {
@@ -457,7 +458,7 @@ pub fn fused_xpby_dot(x: &[f64], b: f64, y: &mut [f64], w: &[f64]) -> f64 {
             }
         }
     };
-    let threads = par::threads_for(n, par::PAR_MIN_ELEMS);
+    let threads = par::threads_for(n, tuning::par_min_elems());
     if threads <= 1 {
         let mut acc = 0.0;
         for c in 0..nchunks {
@@ -699,7 +700,7 @@ mod tests {
     #[test]
     fn reductions_are_thread_count_insensitive() {
         let _guard = crate::par::thread_sweep_lock();
-        let n = crate::par::PAR_MIN_ELEMS + 4321;
+        let n = crate::tuning::par_min_elems() + 4321;
         let x: Vec<f64> = (0..n)
             .map(|i| ((i * 31 + 7) % 1013) as f64 * 1e-3 - 0.5)
             .collect();

@@ -55,10 +55,27 @@
 //!   reduction into the phase producing its operands and replicates the
 //!   scalar reductions across workers: `m·(2C−1) + 3` barriers per
 //!   iteration (C colors, m steps), down from `m·(2C−1) + 9`.
+//! * **Operator abstraction + SELL-C-σ** — every solver entry point
+//!   (`pcg_solve_into`, `pcg_solve_multi`, the SPMD `ParallelMStepPcg`,
+//!   the splitting/preconditioner constructors) is generic over
+//!   `mspcg::sparse::SparseOp`, so the storage format is a pure
+//!   performance decision: CSR by default, SELL-C-σ
+//!   (`mspcg::sparse::SellCsMatrix`, sliced ELL with slice height C and
+//!   sort window σ) for wide/irregular rows — ~1.3–1.6× CSR throughput on
+//!   the arrow-matrix family (`BENCH_pr3.json`) with bitwise-identical
+//!   products and solver runs. `AutoOp` picks the format from the row
+//!   shape (longest row ≥ 4× mean, padding ≤ 50 %); the
+//!   `MSPCG_FORCE_FORMAT` env var pins it, and CI runs the whole suite
+//!   once under `MSPCG_FORCE_FORMAT=sellcs`. Future formats (blocked CSR,
+//!   NUMA-partitioned) implement one trait and drop in.
 //! * **nnz-weighted SpMV chunking** — parallel SpMV splits rows at
 //!   `row_ptr` prefix-sum boundaries (`par::spmv_layout`), so a run of
 //!   dense-ish rows on an irregular FEM matrix cannot serialize the pool;
-//!   layouts stay thread-count independent.
+//!   layouts stay thread-count independent. The multicolor SSOR color
+//!   sweeps chunk the same way (`par::spmv_chunk_rows_range` within each
+//!   color block). All thresholds live in `mspcg::sparse::tuning` with
+//!   validated `MSPCG_PAR_MIN_ELEMS` / `MSPCG_PAR_MIN_NNZ` /
+//!   `MSPCG_MIN_SPMV_CHUNK_NNZ` overrides.
 //! * **Adaptive fallback** — small kernels run serially; a
 //!   `--no-default-features` build is strictly serial with identical
 //!   results.
@@ -75,12 +92,13 @@
 //!   solutions. See `examples/multi_load_cases.rs`.
 //!
 //! Measure with
-//! `cargo bench -p mspcg-bench --bench spmv -- --json BENCH_pr1.json`,
+//! `cargo bench -p mspcg-bench --bench spmv -- --json BENCH_pr3.json`
+//! (CSR vs DIA vs SELL-C-σ, serial and parallel),
 //! `… --bench precond …`, and the fused-kernel / multi-RHS bench
 //! `cargo bench -p mspcg-bench --bench multi_rhs -- --json
 //! BENCH_pr2.json` (committed reference numbers in `BENCH_pr1.json` /
-//! `BENCH_pr2.json`; this container is single-core — re-record on a
-//! multi-core runner for parallel speedups).
+//! `BENCH_pr2.json` / `BENCH_pr3.json`; this container is single-core —
+//! re-record on a multi-core runner for parallel speedups).
 
 pub use mspcg_coloring as coloring;
 pub use mspcg_core as core;

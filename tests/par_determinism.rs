@@ -10,7 +10,7 @@ use mspcg::core::pcg::{pcg_solve_into, PcgOptions, PcgWorkspace};
 use mspcg::core::splitting::Splitting;
 use mspcg::core::ssor::MulticolorSsor;
 use mspcg::fem::poisson::poisson5;
-use mspcg::sparse::{par, vecops, CsrMatrix, Partition};
+use mspcg::sparse::{par, vecops, AutoOp, CsrMatrix, Partition, SellCsMatrix};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// The thread budget is process global; sweep one test at a time.
@@ -185,6 +185,85 @@ fn spmv_and_ssor_sweeps_bitwise_across_thread_counts() {
         assert_eq!(bits(&z1), bits(&zt), "msolve, t = {t}");
     }
     par::set_max_threads(before);
+}
+
+/// The cross-format leg of the determinism contract: replaying the full
+/// m-step SSOR PCG solve through SELL-C-σ — operator *and* preconditioner
+/// built from the SELL form — must reproduce the CSR run bitwise, at every
+/// thread count. This is what makes the storage format a pure performance
+/// decision.
+#[test]
+fn full_pcg_solve_bitwise_under_both_formats() {
+    let _guard = sweep_lock();
+    let (matrix, colors, rhs) = ordered_poisson(128);
+    let sell = SellCsMatrix::from_csr_default(&matrix);
+    let pre_csr = MStepSsorPreconditioner::unparametrized(&matrix, &colors, 2).unwrap();
+    let pre_sell = MStepSsorPreconditioner::unparametrized_op(&sell, &colors, 2).unwrap();
+    let opts = PcgOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
+    let n = matrix.rows();
+
+    let before = par::max_threads();
+    for t in [1usize, 2, 4, 8] {
+        par::set_max_threads(t);
+        let mut ws = PcgWorkspace::new(n);
+        let mut u_csr = vec![0.0; n];
+        let rep_csr = pcg_solve_into(&matrix, &rhs, &mut u_csr, &pre_csr, &opts, &mut ws).unwrap();
+        let mut u_sell = vec![0.0; n];
+        let rep_sell = pcg_solve_into(&sell, &rhs, &mut u_sell, &pre_sell, &opts, &mut ws).unwrap();
+        assert_eq!(
+            rep_csr.iterations, rep_sell.iterations,
+            "iters differ, t = {t}"
+        );
+        assert_eq!(
+            rep_csr.final_relative_residual.to_bits(),
+            rep_sell.final_relative_residual.to_bits(),
+            "residual differs, t = {t}"
+        );
+        assert_eq!(bits(&u_csr), bits(&u_sell), "solution differs, t = {t}");
+
+        // The batched multi-RHS path accepts the SELL operator too.
+        let mut f = rhs.clone();
+        f.extend_from_slice(&rhs);
+        let mut ub_csr = vec![0.0; 2 * n];
+        let mut ub_sell = vec![0.0; 2 * n];
+        let mut mws = MultiRhsWorkspace::new(n, 2);
+        pcg_solve_multi(&matrix, &f, &mut ub_csr, &pre_csr, &opts, &mut mws).unwrap();
+        pcg_solve_multi(&sell, &f, &mut ub_sell, &pre_sell, &opts, &mut mws).unwrap();
+        assert_eq!(bits(&ub_csr), bits(&ub_sell), "multi-RHS differs, t = {t}");
+    }
+    par::set_max_threads(before);
+}
+
+/// `AutoOp` is the env-sensitive dispatcher: under
+/// `MSPCG_FORCE_FORMAT=sellcs` (the CI override job) this whole test file
+/// exercises the SELL path through the solver stack; the result must be
+/// bitwise identical to the explicit CSR run either way.
+#[test]
+fn auto_format_solve_matches_csr_bitwise() {
+    let _guard = sweep_lock();
+    let (matrix, colors, rhs) = ordered_poisson(96);
+    let auto = AutoOp::from_csr(matrix.clone());
+    let pre_csr = MStepSsorPreconditioner::unparametrized(&matrix, &colors, 2).unwrap();
+    let pre_auto = MStepSsorPreconditioner::unparametrized_op(&auto, &colors, 2).unwrap();
+    let opts = PcgOptions {
+        tol: 1e-9,
+        ..Default::default()
+    };
+    let n = matrix.rows();
+    let mut ws = PcgWorkspace::new(n);
+    let mut u_csr = vec![0.0; n];
+    pcg_solve_into(&matrix, &rhs, &mut u_csr, &pre_csr, &opts, &mut ws).unwrap();
+    let mut u_auto = vec![0.0; n];
+    pcg_solve_into(&auto, &rhs, &mut u_auto, &pre_auto, &opts, &mut ws).unwrap();
+    assert_eq!(
+        bits(&u_csr),
+        bits(&u_auto),
+        "AutoOp ({:?}) solve differs from CSR",
+        auto.format()
+    );
 }
 
 #[test]

@@ -13,7 +13,7 @@ use mspcg::core::coeffs::{least_squares_alphas, residual_sup, spd_margin, Weight
 use mspcg::core::mstep::MStepSsorPreconditioner;
 use mspcg::core::pcg::{pcg_solve, PcgOptions, StoppingCriterion};
 use mspcg::core::preconditioner::Preconditioner;
-use mspcg::sparse::{CooMatrix, CsrMatrix, DiaMatrix, Permutation};
+use mspcg::sparse::{CooMatrix, CsrMatrix, DiaMatrix, Permutation, SellCsMatrix, SparseOp};
 
 /// Cases per property (matches the old proptest configuration).
 const CASES: u64 = 24;
@@ -97,6 +97,92 @@ fn dia_spmv_equals_csr_spmv() {
         for (u, v) in y1.iter().zip(&y2) {
             assert!((u - v).abs() < 1e-12, "case {case}: {u} vs {v}");
         }
+    }
+}
+
+/// CSR ↔ SELL-C-σ must be a lossless round trip for random sparsity
+/// patterns and random (C, σ) layouts, and the SELL SpMV must agree with
+/// the CSR kernel **bitwise** (the ascending-column per-row summation
+/// contract of `SparseOp`).
+#[test]
+fn sellcs_round_trips_and_matches_csr_bitwise() {
+    let mut rng = Rng::new(7);
+    for case in 0..CASES {
+        let n = rng.range(2, 90);
+        let extra = rng.range(0, 4 * n);
+        let a = random_spd(n, extra, 1 + rng.next() % 5000);
+        let c = 1 << rng.range(0, 6); // C ∈ {1, 2, 4, 8, 16, 32}
+        let sigma = c * (1 + rng.range(0, 8)); // σ a random multiple of C
+        let sell = SellCsMatrix::from_csr(&a, c, sigma).unwrap();
+        assert_eq!(sell.to_csr(), a, "case {case}: C = {c}, σ = {sigma}");
+        // Padding accounting: the real entries are conserved and the
+        // per-slice tallies sum to the totals.
+        assert_eq!(sell.nnz(), a.nnz(), "case {case}");
+        let padded: usize = (0..sell.num_slices())
+            .map(|s| sell.slice_width(s) * c.min(n - s * c))
+            .sum();
+        assert_eq!(padded, sell.padded_len(), "case {case}");
+        let real: usize = (0..sell.num_slices()).map(|s| sell.slice_nnz(s)).sum();
+        assert_eq!(real, sell.nnz(), "case {case}");
+
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 + 3) % 23) as f64 * 0.17 - 1.9)
+            .collect();
+        let y_csr = a.mul_vec(&x);
+        let y_sell = SparseOp::mul_vec(&sell, &x);
+        assert!(
+            y_csr
+                .iter()
+                .zip(&y_sell)
+                .all(|(u, v)| u.to_bits() == v.to_bits()),
+            "case {case}: SELL-C-{c}-σ{sigma} SpMV differs from CSR"
+        );
+    }
+}
+
+/// The wide-row family (arrow matrices with a random dense head): the
+/// shapes SELL-C-σ exists for must also round-trip and multiply bitwise
+/// identically, including through the fused accumulate kernel.
+#[test]
+fn sellcs_wide_row_spmv_equals_csr() {
+    let mut rng = Rng::new(11);
+    for case in 0..CASES {
+        let n = rng.range(20, 200);
+        let head = rng.range(1, 9).min(n / 2);
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 8.0 + (rng.next() % 5) as f64).unwrap();
+        }
+        for d in 0..head {
+            for j in head..n {
+                coo.push_sym(d, j, -1e-3 * ((d + j) % 7 + 1) as f64)
+                    .unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let sell = SellCsMatrix::from_csr_default(&a);
+        assert_eq!(sell.to_csr(), a, "case {case}");
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 17) as f64 * 0.3).collect();
+        let y_csr = a.mul_vec(&x);
+        let y_sell = SparseOp::mul_vec(&sell, &x);
+        assert!(
+            y_csr
+                .iter()
+                .zip(&y_sell)
+                .all(|(u, v)| u.to_bits() == v.to_bits()),
+            "case {case}: arrow SpMV differs"
+        );
+        let mut acc_csr = vec![0.25; n];
+        let mut acc_sell = vec![0.25; n];
+        a.mul_vec_axpy(-1.5, &x, &mut acc_csr);
+        SparseOp::mul_vec_axpy(&sell, -1.5, &x, &mut acc_sell);
+        assert!(
+            acc_csr
+                .iter()
+                .zip(&acc_sell)
+                .all(|(u, v)| u.to_bits() == v.to_bits()),
+            "case {case}: arrow axpy differs"
+        );
     }
 }
 
