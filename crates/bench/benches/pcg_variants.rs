@@ -1,0 +1,156 @@
+//! Classic vs single-reduction (Chronopoulos–Gear) PCG on the Table-3
+//! FEM family (the paper's plane-stress plates), serial and SPMD.
+//!
+//! On this repo's single-core container the wall-clock gap between the
+//! variants is noise — the win is *synchronization*, so every record
+//! carries the counters that prove the schedule instead:
+//! `iterations`, `reductions_per_iter` (serial and SPMD; exactly 1 for
+//! single-reduction, 2 for classic) and `barriers_per_iter` (SPMD;
+//! `m·(2C−1)+2` vs `m·(2C−1)+3`). The counter claims are *asserted* here,
+//! not just recorded — a schedule regression fails the bench run.
+//!
+//! Record results: `cargo bench -p mspcg-bench --bench pcg_variants --
+//! --json BENCH_pr4.json`.
+
+use mspcg_bench::experiments::ordered_plate;
+use mspcg_bench::timing::{bench, finish, BenchResult};
+use mspcg_core::{
+    pcg_try_solve_into, MStepSsorPreconditioner, PcgOptions, PcgVariant, PcgWorkspace,
+};
+use mspcg_parallel::{ParallelMStepPcg, ParallelSolverOptions};
+use std::sync::Arc;
+
+fn variant_name(variant: PcgVariant) -> &'static str {
+    match variant {
+        PcgVariant::SingleReduction => "single_reduction",
+        _ => "classic",
+    }
+}
+
+/// Serial solver on one Table-3 plate: time the full solve, then replay
+/// once to harvest (and verify) the reduction-phase counters.
+fn bench_serial(results: &mut Vec<BenchResult>, a: usize, m: usize) {
+    let (_, ord) = ordered_plate(a).expect("plate");
+    let n = ord.matrix.rows();
+    let matrix = Arc::new(ord.matrix);
+    let colors = Arc::new(ord.colors);
+    let pre =
+        MStepSsorPreconditioner::unparametrized_shared(Arc::clone(&matrix), Arc::clone(&colors), m)
+            .expect("preconditioner");
+    let mut ws = PcgWorkspace::new(n);
+    let mut u = vec![0.0; n];
+    for variant in [PcgVariant::Classic, PcgVariant::SingleReduction] {
+        let opts = PcgOptions {
+            tol: 1e-8,
+            variant,
+            ..Default::default()
+        };
+        let group = format!("pcg_variant_plate{a}_m{m}");
+        let mut record = bench(&group, variant_name(variant), || {
+            u.fill(0.0);
+            pcg_try_solve_into(&matrix, &ord.rhs, &mut u, &pre, &opts, &mut ws).expect("solve");
+        });
+        u.fill(0.0);
+        let rep =
+            pcg_try_solve_into(&matrix, &ord.rhs, &mut u, &pre, &opts, &mut ws).expect("solve");
+        assert!(rep.converged, "{group} did not converge");
+        let iters = rep.iterations as f64;
+        let phases_per_iter = rep.stats.reduction_phases as f64 / iters;
+        match variant {
+            PcgVariant::SingleReduction => {
+                // The acceptance counter: ONE fused reduction phase per
+                // iteration (+1 at init, −1 on the converging iteration).
+                assert!(
+                    rep.stats.reduction_phases >= rep.iterations
+                        && rep.stats.reduction_phases <= rep.iterations + 1,
+                    "{group}: {} phases over {} iterations",
+                    rep.stats.reduction_phases,
+                    rep.iterations
+                );
+            }
+            _ => {
+                assert!(
+                    rep.stats.reduction_phases >= 2 * rep.iterations - 1,
+                    "{group}: classic lost a reduction phase"
+                );
+            }
+        }
+        record = record
+            .with_extra("iterations", iters)
+            .with_extra("reductions_per_iter", phases_per_iter)
+            .with_extra(
+                "inner_products_per_iter",
+                rep.stats.inner_products as f64 / iters,
+            );
+        results.push(record);
+    }
+}
+
+/// SPMD solver on one Table-3 plate: the instrumented barrier and the
+/// replicated-reduction counter expose the schedule even at 1 core.
+fn bench_spmd(results: &mut Vec<BenchResult>, a: usize, m: usize, threads: usize) {
+    let (_, ord) = ordered_plate(a).expect("plate");
+    let c = ord.colors.num_blocks();
+    let solver = ParallelMStepPcg::new(&ord.matrix, &ord.colors, vec![1.0; m]).expect("solver");
+    let sweep = m * (2 * c - 1);
+    for variant in [PcgVariant::Classic, PcgVariant::SingleReduction] {
+        let opts = ParallelSolverOptions {
+            threads,
+            tol: 1e-8,
+            max_iterations: 100_000,
+            variant,
+        };
+        let group = format!("spmd_variant_plate{a}_m{m}_t{threads}");
+        let mut record = bench(&group, variant_name(variant), || {
+            solver.solve(&ord.rhs, &opts).expect("spmd solve");
+        });
+        let rep = solver.solve(&ord.rhs, &opts).expect("spmd solve");
+        let iters = rep.iterations as f64;
+        let barriers_per_iter = rep.barrier_crossings as f64 / iters;
+        let reductions_per_iter = rep.reduction_phases as f64 / iters;
+        // Counter-verified schedule: the single-reduction iteration stays
+        // within m·(2C−1)+2 barriers and one reduction phase. (Plain CG,
+        // m = 0: the classic schedule still pays a z ← r copy phase; the
+        // single-reduction schedule reads r directly.)
+        match variant {
+            PcgVariant::SingleReduction => {
+                assert!(
+                    rep.barrier_crossings <= sweep + 1 + (rep.iterations - 1) * (sweep + 2) + 1,
+                    "{group}: {} crossings over {} iterations",
+                    rep.barrier_crossings,
+                    rep.iterations
+                );
+                assert_eq!(
+                    rep.reduction_phases, rep.iterations,
+                    "{group}: single-reduction must run ONE reduction phase per iteration"
+                );
+            }
+            _ => {
+                let msolve = if m == 0 { 1 } else { sweep };
+                assert_eq!(
+                    rep.barrier_crossings,
+                    msolve + (rep.iterations - 1) * (msolve + 3) + 2,
+                    "{group}: classic barrier schedule changed"
+                );
+            }
+        }
+        record = record
+            .with_extra("iterations", iters)
+            .with_extra("barriers_per_iter", barriers_per_iter)
+            .with_extra("reductions_per_iter", reductions_per_iter)
+            .with_extra("colors", c as f64);
+        results.push(record);
+    }
+}
+
+fn main() {
+    let mut results = Vec::new();
+    // Table-3 FEM family (plane-stress plates), serial solver.
+    bench_serial(&mut results, 20, 1);
+    bench_serial(&mut results, 20, 3);
+    bench_serial(&mut results, 40, 2);
+    // SPMD schedule: counters prove the barrier win independent of cores.
+    bench_spmd(&mut results, 20, 2, 2);
+    bench_spmd(&mut results, 20, 0, 2);
+    finish(&results);
+}

@@ -19,6 +19,7 @@ fn main() {
             threads,
             tol: 1e-6,
             max_iterations: 50_000,
+            ..Default::default()
         };
         results.push(bench(
             "table3_threaded_speedup",

@@ -27,12 +27,24 @@ pub struct BenchResult {
     pub min_ns: f64,
     /// Worker-pool thread budget while the sample ran.
     pub threads: usize,
+    /// Extra numeric counters recorded alongside the timing (e.g.
+    /// `iterations`, `barriers_per_iter`, `reductions_per_iter`): the
+    /// quantities that stay meaningful on a single-core container where
+    /// wall-clock parallel wins cannot show. Each becomes a JSON field.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchResult {
     /// `group/label` identifier.
     pub fn id(&self) -> String {
         format!("{}/{}", self.group, self.label)
+    }
+
+    /// Attach an extra numeric counter to the record (builder style).
+    #[must_use]
+    pub fn with_extra(mut self, key: &str, value: f64) -> Self {
+        self.extras.push((key.to_string(), value));
+        self
     }
 }
 
@@ -74,6 +86,7 @@ pub fn bench(group: &str, label: &str, mut f: impl FnMut()) -> BenchResult {
         mean_ns: total_ns as f64 / samples as f64,
         min_ns: min_ns as f64,
         threads: mspcg_sparse::par::max_threads(),
+        extras: Vec::new(),
     };
     println!(
         "{:<40} mean {:>12}  min {:>12}  ({} samples, {} thread(s))",
@@ -100,15 +113,33 @@ pub fn fmt_ns(ns: f64) -> String {
 }
 
 fn json_object(r: &BenchResult) -> String {
+    let mut extras = String::new();
+    for (key, value) in &r.extras {
+        extras.push_str(&format!(", {}: {}", json_string(key), json_number(*value)));
+    }
     format!(
-        "  {{\"group\": {}, \"label\": {}, \"samples\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"threads\": {}}}",
+        "  {{\"group\": {}, \"label\": {}, \"samples\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"threads\": {}{}}}",
         json_string(&r.group),
         json_string(&r.label),
         r.samples,
         r.mean_ns,
         r.min_ns,
         r.threads,
+        extras,
     )
+}
+
+/// Render a counter value as valid JSON (no NaN/inf literals).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.4}")
+        }
+    } else {
+        "null".to_string()
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -196,6 +227,10 @@ mod tests {
             mean_ns: 1.5,
             min_ns: 1.0,
             threads: 2,
+            extras: vec![
+                ("iterations".into(), 41.0),
+                ("barriers_per_iter".into(), 7.5),
+            ],
         };
         append_json(&path, std::slice::from_ref(&r)).unwrap();
         append_json(&path, std::slice::from_ref(&r)).unwrap();
@@ -203,6 +238,18 @@ mod tests {
         assert_eq!(s.matches("\"group\"").count(), 2);
         assert!(s.trim_start().starts_with('['));
         assert!(s.trim_end().ends_with(']'));
+        // Extras become plain JSON fields (integers stay integers).
+        assert!(s.contains("\"iterations\": 41"));
+        assert!(s.contains("\"barriers_per_iter\": 7.5000"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_number_renders_valid_json() {
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(-12.0), "-12");
+        assert_eq!(json_number(2.25), "2.2500");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
     }
 }

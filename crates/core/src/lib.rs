@@ -53,7 +53,7 @@ pub use mstep::{MStep, MStepJacobiPreconditioner, MStepSsorPreconditioner};
 pub use multi::{pcg_solve_multi, MultiRhsSummary, MultiRhsWorkspace, RhsOutcome, SolveStatus};
 pub use pcg::{
     cg_solve, pcg_solve, pcg_solve_into, pcg_try_solve_into, PcgOptions, PcgReport, PcgSolution,
-    PcgWorkspace, StoppingCriterion,
+    PcgVariant, PcgWorkspace, StoppingCriterion,
 };
 pub use preconditioner::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};
 pub use splitting::{JacobiSplitting, NaturalSsorSplitting, Splitting};

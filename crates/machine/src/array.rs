@@ -125,7 +125,7 @@ pub fn run_fem_machine_assigned(
         tol,
         max_iterations: 100_000,
         criterion: StoppingCriterion::DisplacementChange,
-        record_history: false,
+        ..Default::default()
     };
     let solution = if m == 0 {
         cg_solve(&ord.matrix, &ord.rhs, &opts)?

@@ -155,7 +155,7 @@ pub fn run_cyber_pcg(
         tol,
         max_iterations: 100_000,
         criterion: StoppingCriterion::DisplacementChange,
-        record_history: false,
+        ..Default::default()
     };
     let solution = if m == 0 {
         cg_solve(&ord.matrix, &ord.rhs, &opts)?

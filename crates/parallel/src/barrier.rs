@@ -20,9 +20,17 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A reusable spin barrier for a fixed number of workers.
+///
+/// The barrier **counts its crossings** ([`SpinBarrier::crossings`]): one
+/// increment per generation, regardless of worker count. The SPMD solver
+/// publishes the count so the per-iteration synchronization cost of a
+/// schedule — the quantity the paper's whole argument optimizes — is a
+/// measured number, not a claim (a relaxed store by the last arriver;
+/// nothing is added to the spin loop).
 pub struct SpinBarrier {
     count: AtomicUsize,
     generation: AtomicUsize,
+    crossings: AtomicUsize,
     total: usize,
 }
 
@@ -36,13 +44,22 @@ impl SpinBarrier {
         SpinBarrier {
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
+            crossings: AtomicUsize::new(0),
             total: n,
         }
+    }
+
+    /// Completed barrier crossings (generations) since construction. One
+    /// crossing = one synchronization of all `n` workers — the unit the
+    /// `m·(2C−1) + k` per-iteration cost model counts.
+    pub fn crossings(&self) -> usize {
+        self.crossings.load(Ordering::Relaxed)
     }
 
     /// Block (spinning) until all `n` workers have called `wait`.
     pub fn wait(&self) {
         if self.total == 1 {
+            self.crossings.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let gen = self.generation.load(Ordering::Acquire);
@@ -50,6 +67,7 @@ impl SpinBarrier {
         if arrived == self.total {
             // Last arriver: reset and release the generation.
             self.count.store(0, Ordering::Relaxed);
+            self.crossings.fetch_add(1, Ordering::Relaxed);
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
         } else {
@@ -77,6 +95,26 @@ mod tests {
         for _ in 0..10 {
             b.wait();
         }
+        assert_eq!(b.crossings(), 10);
+    }
+
+    #[test]
+    fn crossings_count_generations_not_waits() {
+        const T: usize = 4;
+        const ROUNDS: usize = 50;
+        let b = SpinBarrier::new(T);
+        std::thread::scope(|s| {
+            for _ in 0..T {
+                let b = &b;
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        b.wait();
+                    }
+                });
+            }
+        });
+        // 4 workers × 50 waits = 50 crossings.
+        assert_eq!(b.crossings(), ROUNDS);
     }
 
     #[test]

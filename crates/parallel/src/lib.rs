@@ -28,4 +28,5 @@ pub mod shared;
 pub mod solver;
 
 pub use barrier::SpinBarrier;
+pub use mspcg_sparse::PcgVariant;
 pub use solver::{ParallelMStepPcg, ParallelSolveReport, ParallelSolverOptions};

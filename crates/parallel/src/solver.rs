@@ -12,11 +12,12 @@
 //! partials are **replicated**: every worker sums the same partials in
 //! the same order, so all workers reach bitwise-identical α, β and
 //! stopping decisions without a broadcast phase — the sum/max circuit of
-//! the Finite Element Machine, minus the dedicated round trips. Three
-//! partial banks (`dot`, `change`, `rz`) rotate so a fast worker's writes
-//! for phase k+1 can never race a slow worker's reads from phase k.
+//! the Finite Element Machine, minus the dedicated round trips. The
+//! partial banks (`dot`, `change`, `rz` — plus `ps` on the
+//! single-reduction schedule) rotate so a fast worker's writes for phase
+//! k+1 can never race a slow worker's reads from phase k.
 //!
-//! Per iteration (`C` colors, `m` steps):
+//! Per **classic** iteration (`C` colors, `m` steps):
 //!
 //! ```text
 //! kp ← K·p  ⊕ (p, Kp) partial          1 barrier
@@ -31,10 +32,40 @@
 //! `m·(2C−1) + 9` (separate dot/stop/reduce/fill phases). Results are
 //! bit-identical to the unfused schedule: the fused kernels perform the
 //! same arithmetic in the same order, only without the barriers.
+//!
+//! ## Single-reduction schedule
+//!
+//! The classic floor is its two *serialized* dot products: `(p, Kp)` must
+//! close before α can scale the update, and `(z, r)` before β can build
+//! the next direction — each pinning one extra barrier. Under
+//! [`PcgVariant::SingleReduction`] the Chronopoulos–Gear recurrence
+//! removes both waits: `s = Kp` is carried by the recurrence `s ← w + βs`
+//! (`w = Kz`), and α/β are reconstructed from the **one** fused reduction
+//! phase that rides the `w`-producing SpMV:
+//!
+//! ```text
+//! p ← z + βp; s ← w + βs; u += αp;
+//!   r −= αs ⊕ ‖Δu‖∞, (p, s) partials   1 barrier   (one mega-phase)
+//! preconditioner (as above)             m·(2C−1) barriers
+//! w ← K·z ⊕ (w, z) partial,
+//!   (z, r) fused into the last sweep    1 barrier
+//! ```
+//!
+//! i.e. `m·(2C−1) + 2` barriers and **one reduction phase** per iteration
+//! (plain CG, `m = 0`: two barriers total, with `z ≡ r`). The recurrence
+//! follows a different-but-bounded rounding path, so this schedule is
+//! *not* bitwise identical to classic — it is bitwise reproducible within
+//! the variant, and on recurrence breakdown (`(p, s) ≤ 0` or a
+//! nonpositive reconstructed denominator) [`ParallelMStepPcg::solve`]
+//! transparently reruns the solve on the classic schedule. Both barrier
+//! and reduction-phase counts are measured, not asserted:
+//! [`ParallelSolveReport::barrier_crossings`] /
+//! [`ParallelSolveReport::reduction_phases`] come from the instrumented
+//! [`SpinBarrier`] and the replicated-reduction counter.
 
 use crate::barrier::SpinBarrier;
 use crate::shared::{slot, ScalarBank, SharedVec};
-use mspcg_sparse::{vecops, Partition, SparseError, SparseOp};
+use mspcg_sparse::{vecops, Partition, PcgVariant, SparseError, SparseOp};
 use std::sync::Arc;
 
 /// Options for the threaded solver.
@@ -47,6 +78,10 @@ pub struct ParallelSolverOptions {
     pub tol: f64,
     /// Iteration budget.
     pub max_iterations: usize,
+    /// Iteration variant. [`PcgVariant::Auto`] (the default) resolves the
+    /// validated `MSPCG_PCG_VARIANT` environment override and falls back
+    /// to the classic schedule.
+    pub variant: PcgVariant,
 }
 
 impl Default for ParallelSolverOptions {
@@ -55,6 +90,7 @@ impl Default for ParallelSolverOptions {
             threads: 0,
             tol: 1e-6,
             max_iterations: 50_000,
+            variant: PcgVariant::Auto,
         }
     }
 }
@@ -72,6 +108,19 @@ pub struct ParallelSolveReport {
     pub final_change: f64,
     /// Worker threads actually used.
     pub threads: usize,
+    /// The schedule that produced this result (never
+    /// [`PcgVariant::Auto`]; classic after a single-reduction breakdown
+    /// fallback).
+    pub variant: PcgVariant,
+    /// Total [`SpinBarrier`] crossings of the run (init + all
+    /// iterations), measured by the instrumented barrier: the
+    /// synchronization cost the `m·(2C−1) + k` model predicts.
+    pub barrier_crossings: usize,
+    /// Replicated dot-product reduction phases feeding α/β: two per
+    /// classic iteration, one per single-reduction iteration (plus one at
+    /// init). The ‖Δu‖∞ stopping max is the paper's flag network and is
+    /// not counted.
+    pub reduction_phases: usize,
 }
 
 /// Status codes passed from worker 0 to the main thread. The zeroed bank
@@ -82,6 +131,16 @@ mod status {
     pub const INDEFINITE_K: f64 = 2.0;
     pub const INDEFINITE_M: f64 = 3.0;
     pub const BUDGET: f64 = 4.0;
+    /// Single-reduction recurrence breakdown: the caller must rerun on
+    /// the classic schedule.
+    pub const FALLBACK: f64 = 5.0;
+}
+
+/// Internal outcome of one pinned-schedule run.
+enum SolveOutcome {
+    Report(ParallelSolveReport),
+    /// Single-reduction breakdown: rerun classically.
+    Fallback,
 }
 
 /// The threaded m-step SSOR PCG solver (ω = 1), constructible from a
@@ -236,6 +295,12 @@ impl ParallelMStepPcg {
 
     /// Solve `K u = f` from the zero initial guess.
     ///
+    /// [`ParallelSolverOptions::variant`] selects the schedule; a
+    /// single-reduction run that hits recurrence breakdown is rerun on
+    /// the classic schedule transparently (breakdown is decided by
+    /// replicated scalars, so every worker — and every rerun — takes the
+    /// branch deterministically).
+    ///
     /// # Errors
     /// [`SparseError::NotPositiveDefinite`] on breakdown,
     /// [`SparseError::DidNotConverge`] on budget exhaustion, shape errors
@@ -245,6 +310,33 @@ impl ParallelMStepPcg {
         f: &[f64],
         opts: &ParallelSolverOptions,
     ) -> Result<ParallelSolveReport, SparseError> {
+        match opts.variant.resolve() {
+            PcgVariant::SingleReduction => {
+                match self.solve_variant(f, opts, PcgVariant::SingleReduction)? {
+                    SolveOutcome::Report(report) => Ok(report),
+                    SolveOutcome::Fallback => {
+                        match self.solve_variant(f, opts, PcgVariant::Classic)? {
+                            SolveOutcome::Report(report) => Ok(report),
+                            // The classic schedule has no fallback exit.
+                            SolveOutcome::Fallback => unreachable!("classic schedule fell back"),
+                        }
+                    }
+                }
+            }
+            _ => match self.solve_variant(f, opts, PcgVariant::Classic)? {
+                SolveOutcome::Report(report) => Ok(report),
+                SolveOutcome::Fallback => unreachable!("classic schedule fell back"),
+            },
+        }
+    }
+
+    /// One solve on one pinned schedule.
+    fn solve_variant(
+        &self,
+        f: &[f64],
+        opts: &ParallelSolverOptions,
+        variant: PcgVariant,
+    ) -> Result<SolveOutcome, SparseError> {
         let n = self.dim();
         if f.len() != n {
             return Err(SparseError::ShapeMismatch {
@@ -252,6 +344,7 @@ impl ParallelMStepPcg {
                 right: (f.len(), 1),
             });
         }
+        let single_reduction = variant == PcgVariant::SingleReduction;
         let threads = self.resolve_threads(opts.threads);
 
         // Contiguous ownership strips.
@@ -274,46 +367,73 @@ impl ParallelMStepPcg {
         let p = SharedVec::zeros(n);
         let kp = SharedVec::zeros(n);
         let y = SharedVec::zeros(n);
-        // Three rotating partial banks: a phase's partial writes must
-        // never alias a straggler's replicated-reduction reads of the
-        // previous bank (two barriers always separate reuse of one bank).
+        // The `w = Kz` carry of the single-reduction recurrence.
+        let w = SharedVec::zeros(if single_reduction { n } else { 0 });
+        // Rotating partial banks: a phase's partial writes must never
+        // alias a straggler's replicated-reduction reads of the previous
+        // bank (at least one barrier always separates a bank's readers
+        // from its next writer).
         let dot_partials = SharedVec::zeros(threads);
         let change_partials = SharedVec::zeros(threads);
         let rz_partials = SharedVec::zeros(threads);
+        let ps_partials = SharedVec::zeros(if single_reduction { threads } else { 0 });
         let bank = ScalarBank::new();
         let barrier = SpinBarrier::new(threads);
-        let iters_out = SharedVec::zeros(2); // [iterations, final_change]
+        // [iterations, final_change, reduction_phases]
+        let iters_out = SharedVec::zeros(3);
 
         std::thread::scope(|s| {
             for t in 0..threads {
                 let strip = strips[t].clone();
-                let (u, r, z, p, kp, y, bank, barrier, iters_out) =
-                    (&u, &r, &z, &p, &kp, &y, &bank, &barrier, &iters_out);
-                let (dot_partials, change_partials, rz_partials) =
-                    (&dot_partials, &change_partials, &rz_partials);
+                let (u, r, z, p, kp, y, w, bank, barrier, iters_out) =
+                    (&u, &r, &z, &p, &kp, &y, &w, &bank, &barrier, &iters_out);
+                let (dot_partials, change_partials, rz_partials, ps_partials) =
+                    (&dot_partials, &change_partials, &rz_partials, &ps_partials);
                 let this = &*self;
                 // `serialized` pins the shared kernels to this worker:
                 // each strip is small by construction, so nested pool
                 // launches would only add contention.
                 s.spawn(move || {
                     mspcg_sparse::par::serialized(|| {
-                        this.worker(
-                            t,
-                            strip,
-                            u,
-                            r,
-                            z,
-                            p,
-                            kp,
-                            y,
-                            dot_partials,
-                            change_partials,
-                            rz_partials,
-                            bank,
-                            barrier,
-                            iters_out,
-                            opts,
-                        );
+                        if single_reduction {
+                            this.worker_single_reduction(
+                                t,
+                                strip,
+                                u,
+                                r,
+                                z,
+                                p,
+                                kp,
+                                y,
+                                w,
+                                dot_partials,
+                                change_partials,
+                                rz_partials,
+                                ps_partials,
+                                bank,
+                                barrier,
+                                iters_out,
+                                opts,
+                            );
+                        } else {
+                            this.worker(
+                                t,
+                                strip,
+                                u,
+                                r,
+                                z,
+                                p,
+                                kp,
+                                y,
+                                dot_partials,
+                                change_partials,
+                                rz_partials,
+                                bank,
+                                barrier,
+                                iters_out,
+                                opts,
+                            );
+                        }
                     });
                 });
             }
@@ -323,7 +443,9 @@ impl ParallelMStepPcg {
         let out = iters_out.into_vec();
         let iterations = out[0] as usize;
         let final_change = out[1];
+        let reduction_phases = out[2] as usize;
         match code {
+            c if c == status::FALLBACK => Ok(SolveOutcome::Fallback),
             c if c == status::INDEFINITE_K => Err(SparseError::NotPositiveDefinite {
                 pivot: iterations,
                 value: -1.0,
@@ -336,21 +458,24 @@ impl ParallelMStepPcg {
                 iterations,
                 residual: final_change,
             }),
-            _ => Ok(ParallelSolveReport {
+            _ => Ok(SolveOutcome::Report(ParallelSolveReport {
                 x: u.into_vec(),
                 iterations,
                 converged: true,
                 final_change,
                 threads,
-            }),
+                variant,
+                barrier_crossings: barrier.crossings(),
+                reduction_phases,
+            })),
         }
     }
 
-    /// The SPMD body run by every worker. All `unsafe` blocks follow the
-    /// phase discipline documented in [`crate::shared`]: writes go only to
-    /// owned ranges (or owned ∩ color block), reads only touch elements
-    /// finalized before the previous barrier or written by this worker in
-    /// the current phase.
+    /// The SPMD body of the **classic** schedule. All `unsafe` blocks
+    /// follow the phase discipline documented in [`crate::shared`]: writes
+    /// go only to owned ranges (or owned ∩ color block), reads only touch
+    /// elements finalized before the previous barrier or written by this
+    /// worker in the current phase.
     ///
     /// Scalar reductions (α, β, the stopping test) are **replicated**:
     /// after the barrier that publishes a partial bank, every worker sums
@@ -378,15 +503,21 @@ impl ParallelMStepPcg {
         opts: &ParallelSolverOptions,
     ) {
         let own = strip.clone();
+        // Replicated reduction phases consumed so far (worker 0 publishes
+        // the count at every exit; the ‖Δu‖∞ flag-network max is not a
+        // dot-product phase and is not counted).
+        let mut phases = 0usize;
 
         // --- init: z = M⁻¹ r, with p ← z and the (z, r) partial fused
         // into the preconditioner's final color phase — no extra barriers.
         self.msolve_phases(&own, t, r, z, y, Some(p), rz_partials, barrier);
         let mut rz: f64 = unsafe { rz_partials.read().iter().sum() };
+        phases += 1;
         if rz < 0.0 {
             if t == 0 {
                 unsafe {
                     bank.set(slot::STOP, status::INDEFINITE_M);
+                    iters_out.write_at(2, phases as f64);
                 }
             }
             return;
@@ -397,6 +528,7 @@ impl ParallelMStepPcg {
                     bank.set(slot::STOP, status::CONVERGED);
                     iters_out.write_at(0, 0.0);
                     iters_out.write_at(1, 0.0);
+                    iters_out.write_at(2, phases as f64);
                 }
             }
             return;
@@ -409,6 +541,7 @@ impl ParallelMStepPcg {
                     bank.set(slot::STOP, status::BUDGET);
                     iters_out.write_at(0, 0.0);
                     iters_out.write_at(1, f64::INFINITY);
+                    iters_out.write_at(2, phases as f64);
                 }
             }
             return;
@@ -428,6 +561,7 @@ impl ParallelMStepPcg {
 
             // --- α (replicated) ---------------------------------------------
             let denom: f64 = unsafe { dot_partials.read().iter().sum() };
+            phases += 1;
             if denom <= 0.0 {
                 if t == 0 {
                     unsafe {
@@ -440,6 +574,7 @@ impl ParallelMStepPcg {
                             },
                         );
                         iters_out.write_at(0, (iter - 1) as f64);
+                        iters_out.write_at(2, phases as f64);
                     }
                 }
                 return;
@@ -471,6 +606,7 @@ impl ParallelMStepPcg {
                         bank.set(slot::STOP, status::CONVERGED);
                         iters_out.write_at(0, iter as f64);
                         iters_out.write_at(1, change);
+                        iters_out.write_at(2, phases as f64);
                     }
                 }
                 return;
@@ -481,6 +617,7 @@ impl ParallelMStepPcg {
                         bank.set(slot::STOP, status::BUDGET);
                         iters_out.write_at(0, iter as f64);
                         iters_out.write_at(1, change);
+                        iters_out.write_at(2, phases as f64);
                     }
                 }
                 return;
@@ -491,11 +628,13 @@ impl ParallelMStepPcg {
 
             // --- β (replicated) ---------------------------------------------
             let rz_new: f64 = unsafe { rz_partials.read().iter().sum() };
+            phases += 1;
             if rz_new < 0.0 {
                 if t == 0 {
                     unsafe {
                         bank.set(slot::STOP, status::INDEFINITE_M);
                         iters_out.write_at(0, iter as f64);
+                        iters_out.write_at(2, phases as f64);
                     }
                 }
                 return;
@@ -511,6 +650,198 @@ impl ParallelMStepPcg {
             }
             barrier.wait();
         }
+    }
+
+    /// The SPMD body of the **single-reduction** schedule. Same phase
+    /// discipline as [`ParallelMStepPcg::worker`]; the differences are the
+    /// carried `s = Kp` (in the `kp` vectors) and `w = Kz`, the fused
+    /// mega-update phase, and that every scalar the recurrence needs
+    /// comes out of the one reduction phase riding the `w = Kz` SpMV.
+    ///
+    /// For plain CG (`m = 0`) no preconditioner phase exists and `z ≡ r`:
+    /// the schedule reads `r` wherever `z` appears, dropping to **two
+    /// barriers per iteration**.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_single_reduction(
+        &self,
+        t: usize,
+        strip: std::ops::Range<usize>,
+        u: &SharedVec,
+        r: &SharedVec,
+        z: &SharedVec,
+        p: &SharedVec,
+        s: &SharedVec,
+        y: &SharedVec,
+        w: &SharedVec,
+        wz_partials: &SharedVec,
+        change_partials: &SharedVec,
+        rz_partials: &SharedVec,
+        ps_partials: &SharedVec,
+        bank: &ScalarBank,
+        barrier: &SpinBarrier,
+        iters_out: &SharedVec,
+        opts: &ParallelSolverOptions,
+    ) {
+        let own = strip.clone();
+        let m_zero = self.alphas.is_empty();
+        let mut phases = 0usize;
+        // Worker-0 outcome publication (every branch below is taken
+        // unanimously — the scalars are replicated).
+        let finish = |code: f64, iterations: usize, change: f64, phases: usize| {
+            if t == 0 {
+                unsafe {
+                    bank.set(slot::STOP, code);
+                    iters_out.write_at(0, iterations as f64);
+                    iters_out.write_at(1, change);
+                    iters_out.write_at(2, phases as f64);
+                }
+            }
+        };
+
+        // --- init: z = M⁻¹ r with the (z, r) partial fused into the
+        // final color phase; for m = 0, z ≡ r and the (r, r) partial
+        // rides the w phase instead.
+        if !m_zero {
+            self.msolve_phases(&own, t, r, z, y, None, rz_partials, barrier);
+        }
+        self.w_phase(&own, t, m_zero, r, z, w, wz_partials, rz_partials, barrier);
+
+        // --- γ₀, δ₀ (replicated, ONE phase) -----------------------------
+        let mut gamma: f64 = unsafe { rz_partials.read().iter().sum() };
+        let delta: f64 = unsafe { wz_partials.read().iter().sum() };
+        phases += 1;
+        if gamma < 0.0 {
+            finish(status::INDEFINITE_M, 0, 0.0, phases);
+            return;
+        }
+        if gamma == 0.0 {
+            finish(status::CONVERGED, 0, 0.0, phases);
+            return;
+        }
+        if opts.max_iterations == 0 {
+            finish(status::BUDGET, 0, f64::INFINITY, phases);
+            return;
+        }
+        if delta <= 0.0 {
+            // (z, Kz) ≤ 0 with z ≠ 0: let the classic schedule's probes
+            // produce the canonical error.
+            finish(status::FALLBACK, 0, 0.0, phases);
+            return;
+        }
+        let mut alpha = gamma / delta;
+        let mut beta = 0.0f64;
+
+        for iter in 1..=opts.max_iterations {
+            // --- mega-update phase: p ← z + βp, s ← w + βs, u += αp,
+            // r −= αs ⊕ ‖Δu‖∞ and (p, s) partials — one barrier for all
+            // four updates and both partials. The (p, s) strip partial
+            // rides the update kernel itself (fused_xpby_xpby_dot), so
+            // the strips are traversed once, not re-read by a dot pass.
+            unsafe {
+                {
+                    let zv = if m_zero { r.read() } else { z.read() };
+                    let wv = w.read();
+                    let po = p.write(own.clone());
+                    let so = s.write(own.clone());
+                    let ps = vecops::fused_xpby_xpby_dot(
+                        &zv[own.clone()],
+                        &wv[own.clone()],
+                        beta,
+                        po,
+                        so,
+                    );
+                    ps_partials.write_at(t, ps);
+                }
+                let pv = p.read();
+                let sv = s.read();
+                let uo = u.write(own.clone());
+                let ro = r.write(own.clone());
+                let norms =
+                    vecops::fused_axpy_axpy_norm(alpha, &pv[own.clone()], &sv[own.clone()], uo, ro);
+                change_partials.write_at(t, alpha.abs() * norms.p_norm_inf);
+            }
+            barrier.wait();
+
+            // --- convergence test (replicated flag network) + guards ---------
+            let change = unsafe { change_partials.read().iter().fold(0.0f64, |a, &b| a.max(b)) };
+            if change < opts.tol {
+                finish(status::CONVERGED, iter, change, phases);
+                return;
+            }
+            if iter == opts.max_iterations {
+                finish(status::BUDGET, iter, change, phases);
+                return;
+            }
+            // Directly measured curvature (p, s) ≤ 0: the recurrence can
+            // no longer be trusted — rerun classically.
+            let ps: f64 = unsafe { ps_partials.read().iter().sum() };
+            if ps <= 0.0 {
+                finish(status::FALLBACK, iter, change, phases);
+                return;
+            }
+
+            // --- z = M⁻¹ r, (z, r) partial fused into the final phase,
+            // then w = K z ⊕ (w, z) — THE reduction phase ---------------------
+            if !m_zero {
+                self.msolve_phases(&own, t, r, z, y, None, rz_partials, barrier);
+            }
+            self.w_phase(&own, t, m_zero, r, z, w, wz_partials, rz_partials, barrier);
+
+            // --- γ′, δ, then β and the reconstructed α (replicated) ----------
+            let gamma_new: f64 = unsafe { rz_partials.read().iter().sum() };
+            let delta: f64 = unsafe { wz_partials.read().iter().sum() };
+            phases += 1;
+            if gamma_new < 0.0 {
+                finish(status::INDEFINITE_M, iter, change, phases);
+                return;
+            }
+            if gamma_new == 0.0 {
+                // Exact convergence in fewer than n steps.
+                finish(status::CONVERGED, iter, change, phases);
+                return;
+            }
+            let beta_new = gamma_new / gamma.max(1e-300);
+            let denom = delta - beta_new * gamma_new / alpha;
+            if !(denom.is_finite() && denom > 0.0) {
+                finish(status::FALLBACK, iter, change, phases);
+                return;
+            }
+            beta = beta_new;
+            alpha = gamma_new / denom;
+            gamma = gamma_new;
+        }
+    }
+
+    /// The single-reduction schedule's `w = K·z` phase: write the strip of
+    /// `w`, fuse in the `(w, z)` partial — and, for plain CG (`m_zero`,
+    /// where `z ≡ r` and no preconditioner phase exists to carry it), the
+    /// `(r, r)` partial — then barrier. The strip of `w` this worker just
+    /// wrote is exactly the strip the partial reads, so no reduction needs
+    /// a barrier of its own. Used verbatim at init and in the iteration
+    /// loop: the two reduction points must stay arithmetically identical.
+    #[allow(clippy::too_many_arguments)]
+    fn w_phase(
+        &self,
+        own: &std::ops::Range<usize>,
+        t: usize,
+        m_zero: bool,
+        r: &SharedVec,
+        z: &SharedVec,
+        w: &SharedVec,
+        wz_partials: &SharedVec,
+        rz_partials: &SharedVec,
+        barrier: &SpinBarrier,
+    ) {
+        unsafe {
+            let zv = if m_zero { r.read() } else { z.read() };
+            let out = w.write(own.clone());
+            self.strip_spmv(zv, out, own.clone());
+            wz_partials.write_at(t, vecops::dot(&zv[own.clone()], out));
+            if m_zero {
+                rz_partials.write_at(t, vecops::dot(&zv[own.clone()], &zv[own.clone()]));
+            }
+        }
+        barrier.wait();
     }
 
     /// Barrier-per-color m-step SSOR solve `z ← M⁻¹ r` (ω = 1), or a plain
@@ -659,6 +990,7 @@ mod tests {
                     threads: 4,
                     tol: 1e-8,
                     max_iterations: 10_000,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -698,6 +1030,7 @@ mod tests {
                     threads: 3,
                     tol: 1e-8,
                     max_iterations: 10_000,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -715,6 +1048,7 @@ mod tests {
             threads: 4,
             tol: 1e-8,
             max_iterations: 10_000,
+            ..Default::default()
         };
         let r1 = par.solve(&rhs, &opts).unwrap();
         let r2 = par.solve(&rhs, &opts).unwrap();
@@ -733,6 +1067,7 @@ mod tests {
                     threads,
                     tol: 1e-9,
                     max_iterations: 10_000,
+                    ..Default::default()
                 },
             )
             .unwrap()
@@ -760,6 +1095,7 @@ mod tests {
                 threads,
                 tol: 1e-9,
                 max_iterations: 10_000,
+                ..Default::default()
             };
             let rc = par_csr.solve(&rhs, &opts).unwrap();
             let rs = par_sell.solve(&rhs, &opts).unwrap();
@@ -788,6 +1124,7 @@ mod tests {
                 threads: 2,
                 tol: 1e-14,
                 max_iterations: 2,
+                ..Default::default()
             },
         );
         assert!(matches!(err, Err(SparseError::DidNotConverge { .. })));
@@ -803,6 +1140,158 @@ mod tests {
                 threads: 2,
                 tol: 1e-8,
                 max_iterations: 0,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(SparseError::DidNotConverge { iterations: 0, .. })
+        ));
+    }
+
+    fn variant_opts(variant: PcgVariant, threads: usize, tol: f64) -> ParallelSolverOptions {
+        ParallelSolverOptions {
+            threads,
+            tol,
+            max_iterations: 10_000,
+            variant,
+        }
+    }
+
+    #[test]
+    fn single_reduction_matches_classic_solution() {
+        let (a, colors, rhs) = plate(8);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let classic = par
+            .solve(&rhs, &variant_opts(PcgVariant::Classic, 4, 1e-8))
+            .unwrap();
+        let sr = par
+            .solve(&rhs, &variant_opts(PcgVariant::SingleReduction, 4, 1e-8))
+            .unwrap();
+        assert!(classic.converged && sr.converged);
+        assert_eq!(classic.variant, PcgVariant::Classic);
+        assert_eq!(sr.variant, PcgVariant::SingleReduction);
+        assert!(
+            (classic.iterations as isize - sr.iterations as isize).abs() <= 2,
+            "classic {} vs single-reduction {}",
+            classic.iterations,
+            sr.iterations
+        );
+        for (x, y) in classic.x.iter().zip(&sr.x) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    /// The acceptance gate of the single-reduction schedule: the
+    /// instrumented barrier proves `m·(2C−1) + 2` barriers per iteration
+    /// (classic: `m·(2C−1) + 3`), and the replicated-reduction counter
+    /// proves ONE reduction phase per iteration (classic: two).
+    #[test]
+    fn barrier_counter_proves_single_reduction_schedule() {
+        let (a, colors, rhs) = plate(8);
+        let c = colors.num_blocks();
+        for m in [1usize, 2, 3] {
+            let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; m]).unwrap();
+            let sweep = m * (2 * c - 1);
+            for threads in [1usize, 4] {
+                let classic = par
+                    .solve(&rhs, &variant_opts(PcgVariant::Classic, threads, 1e-8))
+                    .unwrap();
+                let sr = par
+                    .solve(
+                        &rhs,
+                        &variant_opts(PcgVariant::SingleReduction, threads, 1e-8),
+                    )
+                    .unwrap();
+                let (kc, ks) = (classic.iterations, sr.iterations);
+                assert!(kc >= 1 && ks >= 1);
+                // Classic: init sweep, k−1 full iterations of sweep + 3
+                // barriers, converging iteration stops after its second.
+                assert_eq!(
+                    classic.barrier_crossings,
+                    sweep + (kc - 1) * (sweep + 3) + 2,
+                    "classic barrier count, m = {m}, threads = {threads}"
+                );
+                // Single-reduction: init sweep + the w-phase barrier, k−1
+                // full iterations of sweep + 2, converging iteration stops
+                // after the mega-update barrier.
+                assert_eq!(
+                    sr.barrier_crossings,
+                    sweep + 1 + (ks - 1) * (sweep + 2) + 1,
+                    "single-reduction barrier count, m = {m}, threads = {threads}"
+                );
+                // Reduction phases: two per classic iteration, ONE per
+                // single-reduction iteration (init phase included, the
+                // converging iteration's phases as scheduled above).
+                assert_eq!(classic.reduction_phases, 2 * kc, "classic phases, m = {m}");
+                assert_eq!(sr.reduction_phases, ks, "single-reduction phases, m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn plain_cg_single_reduction_runs_two_barriers_per_iteration() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![]).unwrap();
+        let sr = par
+            .solve(&rhs, &variant_opts(PcgVariant::SingleReduction, 3, 1e-8))
+            .unwrap();
+        assert!(sr.converged);
+        // z ≡ r drops the preconditioner phases entirely: 1 init barrier,
+        // 2 per full iteration, 1 on the converging iteration.
+        assert_eq!(sr.barrier_crossings, 2 * sr.iterations);
+        let exact = a.to_dense().cholesky().unwrap().solve(&rhs);
+        for (x, v) in sr.x.iter().zip(&exact) {
+            assert!((x - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn single_reduction_is_deterministic_and_format_insensitive() {
+        let (a, colors, rhs) = plate(7);
+        let sell = mspcg_sparse::SellCsMatrix::from_csr_default(&a);
+        let par_csr = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let par_sell = ParallelMStepPcg::new(&sell, &colors, vec![1.0; 2]).unwrap();
+        let opts = variant_opts(PcgVariant::SingleReduction, 4, 1e-9);
+        let r1 = par_csr.solve(&rhs, &opts).unwrap();
+        let r2 = par_csr.solve(&rhs, &opts).unwrap();
+        // Bitwise reproducible within the variant.
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x);
+        // And across storage formats (one extracted sweep table).
+        let rs = par_sell.solve(&rhs, &opts).unwrap();
+        assert_eq!(r1.iterations, rs.iterations);
+        assert!(r1
+            .x
+            .iter()
+            .zip(&rs.x)
+            .all(|(u, v)| u.to_bits() == v.to_bits()));
+    }
+
+    #[test]
+    fn single_reduction_budget_and_zero_budget_match_classic_reporting() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let err = par.solve(
+            &rhs,
+            &ParallelSolverOptions {
+                threads: 2,
+                tol: 1e-14,
+                max_iterations: 2,
+                variant: PcgVariant::SingleReduction,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(SparseError::DidNotConverge { iterations: 2, .. })
+        ));
+        let err = par.solve(
+            &rhs,
+            &ParallelSolverOptions {
+                threads: 2,
+                tol: 1e-8,
+                max_iterations: 0,
+                variant: PcgVariant::SingleReduction,
             },
         );
         assert!(matches!(
@@ -830,6 +1319,7 @@ mod tests {
                     threads: 64,
                     tol: 1e-6,
                     max_iterations: 10_000,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -468,11 +468,17 @@ impl AutoOp {
     /// [`AUTO_WIDE_ROW_RATIO`] × the mean row length (the wide-row shapes
     /// whose chunk imbalance SELL-C-σ exists to fix) **and** the converted
     /// padding overhead stays within [`AUTO_MAX_PADDING`]; CSR otherwise.
+    ///
+    /// A SELL-C-σ conversion — forced or heuristic — takes its `(C, σ)`
+    /// from [`crate::sellcs::autotune_params`], which scans the row-length
+    /// histogram instead of assuming the fixed defaults: uniform shapes
+    /// get the widest slices with no sorting, heavy-tailed shapes whatever
+    /// sliced layout measures the least padding.
     pub fn from_csr(a: CsrMatrix) -> AutoOp {
         match tuning::forced_format() {
             Some(MatrixFormat::Csr) => return AutoOp::Csr(a),
             Some(MatrixFormat::SellCs) => {
-                return AutoOp::SellCs(SellCsMatrix::from_csr_default(&a))
+                return AutoOp::SellCs(SellCsMatrix::from_csr_autotuned(&a))
             }
             None => {}
         }
@@ -482,7 +488,7 @@ impl AutoOp {
         }
         let mean = CsrMatrix::nnz(&a).div_ceil(rows);
         if a.max_row_nnz() >= AUTO_WIDE_ROW_RATIO * mean.max(1) {
-            let sell = SellCsMatrix::from_csr_default(&a);
+            let sell = SellCsMatrix::from_csr_autotuned(&a);
             if sell.padding_ratio() <= AUTO_MAX_PADDING {
                 return AutoOp::SellCs(sell);
             }

@@ -180,6 +180,13 @@ impl SellCsMatrix {
             .expect("default SELL-C-σ parameters are valid")
     }
 
+    /// Convert with `(C, σ)` chosen by [`autotune_params`] from the
+    /// row-length histogram — the entry point [`crate::op::AutoOp`] uses.
+    pub fn from_csr_autotuned(a: &CsrMatrix) -> Self {
+        let (chunk, sigma) = autotune_params(a);
+        Self::from_csr(a, chunk, sigma).expect("autotuned SELL-C-σ parameters are valid")
+    }
+
     /// Lossless round trip back to CSR: reproduces the original matrix
     /// exactly (structure, values, explicit zeros — padding is skipped by
     /// the per-lane lengths, never re-materialized).
@@ -514,6 +521,71 @@ impl SparseOp for SellCsMatrix {
     }
 }
 
+/// Slice heights [`autotune_params`] considers: exactly the heights with
+/// width-specialized kernels (plus small ones that keep padding tight on
+/// very irregular shapes).
+pub const AUTOTUNE_CHUNKS: &[usize] = &[4, 8, 16, 32];
+
+/// Sort-window multiples (σ = factor·C) the autotuner considers: no
+/// sorting, the default's window, and a wide window for heavy-tailed
+/// row-length histograms.
+pub const AUTOTUNE_SIGMA_FACTORS: &[usize] = &[1, 8, 32];
+
+/// Padded storage a `(C, σ)` conversion *would* produce, computed from the
+/// row-length histogram alone (no matrix is materialized): sort each
+/// σ-window of lengths descending — the conversion's exact permutation
+/// rule — then charge every slice `C × (its widest row)`.
+fn padded_len_for(lens: &mut [usize], chunk: usize, sigma: usize) -> usize {
+    for window in lens.chunks_mut(sigma) {
+        window.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    let mut padded = 0usize;
+    for slice in lens.chunks(chunk) {
+        // Descending within the window and windows are slice-aligned, so
+        // the slice's first length is its width.
+        padded += slice[0] * slice.len();
+    }
+    padded
+}
+
+/// Pick `(C, σ)` for a SELL-C-σ conversion of `a` from its **row-length
+/// histogram**: among [`AUTOTUNE_CHUNKS`] × [`AUTOTUNE_SIGMA_FACTORS`],
+/// choose the layout with the least padded storage, breaking ties toward
+/// the **larger C** (longer SIMD lanes for the same memory) and then the
+/// **smaller σ** (less reordering, better gather locality). Uniform
+/// row-length matrices therefore get `C = 32, σ = C` — maximum lane width,
+/// no permutation — while heavy-tailed shapes get small slices and wide
+/// sort windows, whichever measures smallest.
+///
+/// Deterministic in the matrix structure (the choice must not vary between
+/// two conversions of one matrix, or cross-run replay would break), and
+/// `O(rows · log σ)`: cheap next to the conversion itself.
+pub fn autotune_params(a: &CsrMatrix) -> (usize, usize) {
+    let rows = a.rows();
+    if rows == 0 || a.nnz() == 0 {
+        return (DEFAULT_CHUNK, DEFAULT_SIGMA);
+    }
+    let lens: Vec<usize> = (0..rows).map(|i| a.row_nnz(i)).collect();
+    let mut scratch = vec![0usize; rows];
+    let mut best = (DEFAULT_CHUNK, DEFAULT_SIGMA);
+    let mut best_padded = usize::MAX;
+    for &chunk in AUTOTUNE_CHUNKS {
+        for &factor in AUTOTUNE_SIGMA_FACTORS {
+            let sigma = chunk * factor;
+            scratch.copy_from_slice(&lens);
+            let padded = padded_len_for(&mut scratch, chunk, sigma);
+            let better = padded < best_padded
+                || (padded == best_padded
+                    && (chunk > best.0 || (chunk == best.0 && sigma < best.1)));
+            if better {
+                best = (chunk, sigma);
+                best_padded = padded;
+            }
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +761,68 @@ mod tests {
             assert_eq!(bits(&acc_ref), bits(&acc), "sellcs axpy differs at t = {t}");
         }
         crate::par::set_max_threads(before);
+    }
+
+    #[test]
+    fn autotune_prefers_wide_unsorted_slices_on_uniform_rows() {
+        // Every interior row of a tridiagonal matrix stores 3 entries:
+        // any C pads (almost) nothing, so the tie-breaks must pick the
+        // widest slice height with no sorting window.
+        let a = tridiag(512);
+        let (c, sigma) = autotune_params(&a);
+        assert_eq!(c, 32);
+        assert_eq!(sigma, c, "uniform rows need no sort window");
+        let sell = SellCsMatrix::from_csr(&a, c, sigma).unwrap();
+        assert!(sell.padding_ratio() < 0.01, "{}", sell.padding_ratio());
+    }
+
+    #[test]
+    fn autotune_beats_or_matches_default_padding() {
+        for a in [
+            tridiag(301),
+            arrow(512, 4),
+            arrow(777, 13),
+            CsrMatrix::from_diag(&vec![1.0; 97]),
+        ] {
+            let tuned = SellCsMatrix::from_csr_autotuned(&a);
+            let default = SellCsMatrix::from_csr_default(&a);
+            assert!(
+                tuned.padded_len() <= default.padded_len(),
+                "autotuned {} > default {} on {}×{}",
+                tuned.padded_len(),
+                default.padded_len(),
+                a.rows(),
+                a.cols()
+            );
+            // Whatever the parameters, the conversion stays lossless.
+            assert_eq!(tuned.to_csr(), a);
+        }
+    }
+
+    #[test]
+    fn autotune_parameters_are_valid_and_deterministic() {
+        for a in [tridiag(64), arrow(200, 3), arrow(33, 5)] {
+            let (c, sigma) = autotune_params(&a);
+            assert!(AUTOTUNE_CHUNKS.contains(&c));
+            assert!(sigma >= c && sigma.is_multiple_of(c));
+            assert_eq!((c, sigma), autotune_params(&a), "unstable choice");
+        }
+        // Degenerate inputs fall back to the defaults.
+        let empty = CsrMatrix::from_raw_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        assert_eq!(autotune_params(&empty), (DEFAULT_CHUNK, DEFAULT_SIGMA));
+    }
+
+    #[test]
+    fn autotuned_spmv_is_bitwise_identical_to_csr() {
+        let a = arrow(600, 6);
+        let sell = SellCsMatrix::from_csr_autotuned(&a);
+        let x: Vec<f64> = (0..600)
+            .map(|i| ((i * 11 + 7) % 61) as f64 * 0.05)
+            .collect();
+        assert_eq!(
+            bits(&CsrMatrix::mul_vec(&a, &x)),
+            bits(&SparseOp::mul_vec(&sell, &x))
+        );
     }
 
     #[test]

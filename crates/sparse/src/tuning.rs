@@ -16,6 +16,7 @@
 //! | `MSPCG_PAR_MIN_NNZ` | [`DEFAULT_PAR_MIN_NNZ`] | sparse kernels (SpMV, SSOR sweeps) with fewer stored entries run serially |
 //! | `MSPCG_MIN_SPMV_CHUNK_NNZ` | [`DEFAULT_MIN_SPMV_CHUNK_NNZ`] | minimum stored entries per nnz-weighted SpMV chunk |
 //! | `MSPCG_FORCE_FORMAT` | *(unset)* | pin [`crate::op::AutoOp`] to one storage format (`csr` or `sellcs`) |
+//! | `MSPCG_PCG_VARIANT` | *(unset)* | pin the PCG iteration variant (`classic` or `single_reduction`) for every solver whose options leave the variant on automatic |
 //!
 //! Values are read **once**, at first use, and cached for the lifetime of
 //! the process: chunk layouts derived from them must stay fixed so the
@@ -96,25 +97,99 @@ pub enum MatrixFormat {
     SellCs,
 }
 
+/// Parse an `MSPCG_FORCE_FORMAT` value: `Some(format)` for a known name
+/// (`csr` / `sellcs`, case-insensitive, with the `sell-c-sigma` / `sell`
+/// aliases), `None` for anything else — the same pure-function validation
+/// shape as [`parse_positive`], so unknown values can be rejected loudly
+/// instead of silently accepted.
+pub fn parse_format(raw: &str) -> Option<MatrixFormat> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "csr" => Some(MatrixFormat::Csr),
+        "sellcs" | "sell-c-sigma" | "sell" => Some(MatrixFormat::SellCs),
+        _ => None,
+    }
+}
+
 /// The `MSPCG_FORCE_FORMAT` override: `Some(format)` when the environment
-/// pins the operator format (`csr` / `sellcs`, case-insensitive), `None`
-/// when unset or empty so the row-shape heuristic decides. An unknown
-/// value trips a debug assertion and behaves as unset. Read once and
-/// cached, like the numeric thresholds.
+/// pins the operator format, `None` when unset or empty so the row-shape
+/// heuristic decides. Validated exactly like `MSPCG_THREADS`: an unknown
+/// value trips a debug assertion and behaves as unset rather than being
+/// silently accepted. Read once and cached, like the numeric thresholds.
 pub fn forced_format() -> Option<MatrixFormat> {
     static CELL: OnceLock<Option<MatrixFormat>> = OnceLock::new();
     *CELL.get_or_init(|| match std::env::var("MSPCG_FORCE_FORMAT") {
-        Ok(v) if !v.trim().is_empty() => match v.trim().to_ascii_lowercase().as_str() {
-            "csr" => Some(MatrixFormat::Csr),
-            "sellcs" | "sell-c-sigma" | "sell" => Some(MatrixFormat::SellCs),
-            other => {
-                debug_assert!(
-                    false,
-                    "MSPCG_FORCE_FORMAT must be `csr` or `sellcs`, got {other:?}"
-                );
-                None
-            }
-        },
+        Ok(v) if !v.trim().is_empty() => {
+            let parsed = parse_format(&v);
+            debug_assert!(
+                parsed.is_some(),
+                "MSPCG_FORCE_FORMAT must be `csr` or `sellcs`, got {v:?}"
+            );
+            parsed
+        }
+        _ => None,
+    })
+}
+
+/// PCG iteration variants the solver stack implements. Lives here (rather
+/// than in `mspcg-core`) so the serial solvers, the batched multi-RHS
+/// driver and the SPMD `ParallelMStepPcg` all share one selection type and
+/// one validated `MSPCG_PCG_VARIANT` override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PcgVariant {
+    /// Resolve at solve time: the `MSPCG_PCG_VARIANT` override if set,
+    /// otherwise [`PcgVariant::Classic`].
+    #[default]
+    Auto,
+    /// Algorithm 1 as transcribed from the paper: two serialized inner
+    /// products per iteration (`(p, Kp)`, then `(r̂, r)` after the
+    /// preconditioner).
+    Classic,
+    /// Chronopoulos–Gear two-term recurrence: carry `s = Kp` and `w = Kz`
+    /// so `α` and `β` both come out of **one** fused reduction phase per
+    /// iteration — the communication-avoiding form.
+    SingleReduction,
+}
+
+impl PcgVariant {
+    /// Resolve [`PcgVariant::Auto`] against the environment override;
+    /// `Classic` and `SingleReduction` pass through unchanged. The result
+    /// is never `Auto`.
+    pub fn resolve(self) -> PcgVariant {
+        match self {
+            PcgVariant::Auto => forced_pcg_variant().unwrap_or(PcgVariant::Classic),
+            pinned => pinned,
+        }
+    }
+}
+
+/// Parse an `MSPCG_PCG_VARIANT` value: `Some(variant)` for a known name
+/// (`classic` / `single_reduction`, case-insensitive, `single-reduction` /
+/// `sr` accepted as aliases), `None` for anything else.
+pub fn parse_variant(raw: &str) -> Option<PcgVariant> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "classic" => Some(PcgVariant::Classic),
+        "single_reduction" | "single-reduction" | "sr" => Some(PcgVariant::SingleReduction),
+        _ => None,
+    }
+}
+
+/// The `MSPCG_PCG_VARIANT` override: `Some(variant)` when the environment
+/// pins the PCG iteration variant for [`PcgVariant::Auto`] solves, `None`
+/// when unset or empty (classic wins). Validated exactly like
+/// `MSPCG_THREADS`: an unknown value trips a debug assertion and behaves
+/// as unset. Read once and cached — the variant must not flip between two
+/// solves of one process, or replay determinism would break.
+pub fn forced_pcg_variant() -> Option<PcgVariant> {
+    static CELL: OnceLock<Option<PcgVariant>> = OnceLock::new();
+    *CELL.get_or_init(|| match std::env::var("MSPCG_PCG_VARIANT") {
+        Ok(v) if !v.trim().is_empty() => {
+            let parsed = parse_variant(&v);
+            debug_assert!(
+                parsed.is_some(),
+                "MSPCG_PCG_VARIANT must be `classic` or `single_reduction`, got {v:?}"
+            );
+            parsed
+        }
         _ => None,
     })
 }
@@ -151,18 +226,55 @@ mod tests {
     }
 
     #[test]
-    fn forced_format_accepts_known_names() {
-        // Can only assert the parse table indirectly (the cache reads the
-        // real environment); exercise the name mapping through a local
-        // copy of the match.
-        let parse = |s: &str| match s.trim().to_ascii_lowercase().as_str() {
-            "csr" => Some(MatrixFormat::Csr),
-            "sellcs" | "sell-c-sigma" | "sell" => Some(MatrixFormat::SellCs),
-            _ => None,
-        };
-        assert_eq!(parse("csr"), Some(MatrixFormat::Csr));
-        assert_eq!(parse("SELLCS"), Some(MatrixFormat::SellCs));
-        assert_eq!(parse("sell-c-sigma"), Some(MatrixFormat::SellCs));
-        assert_eq!(parse("ellpack"), None);
+    fn parse_format_accepts_known_names_and_rejects_garbage() {
+        assert_eq!(parse_format("csr"), Some(MatrixFormat::Csr));
+        assert_eq!(parse_format(" CSR "), Some(MatrixFormat::Csr));
+        assert_eq!(parse_format("SELLCS"), Some(MatrixFormat::SellCs));
+        assert_eq!(parse_format("sell-c-sigma"), Some(MatrixFormat::SellCs));
+        assert_eq!(parse_format("sell"), Some(MatrixFormat::SellCs));
+        // Unknown names must be rejected (forced_format then debug-asserts
+        // and falls back to the heuristic instead of silently accepting).
+        assert_eq!(parse_format("ellpack"), None);
+        assert_eq!(parse_format(""), None);
+        assert_eq!(parse_format("csr,sellcs"), None);
+    }
+
+    #[test]
+    fn parse_variant_accepts_known_names_and_rejects_garbage() {
+        assert_eq!(parse_variant("classic"), Some(PcgVariant::Classic));
+        assert_eq!(parse_variant(" Classic "), Some(PcgVariant::Classic));
+        assert_eq!(
+            parse_variant("single_reduction"),
+            Some(PcgVariant::SingleReduction)
+        );
+        assert_eq!(
+            parse_variant("SINGLE-REDUCTION"),
+            Some(PcgVariant::SingleReduction)
+        );
+        assert_eq!(parse_variant("sr"), Some(PcgVariant::SingleReduction));
+        assert_eq!(parse_variant("pipelined"), None);
+        assert_eq!(parse_variant(""), None);
+        assert_eq!(parse_variant("auto"), None); // Auto is the absence of a pin
+    }
+
+    #[test]
+    fn variant_resolution_never_returns_auto() {
+        for v in [
+            PcgVariant::Auto,
+            PcgVariant::Classic,
+            PcgVariant::SingleReduction,
+        ] {
+            assert_ne!(v.resolve(), PcgVariant::Auto);
+        }
+        assert_eq!(PcgVariant::Classic.resolve(), PcgVariant::Classic);
+        assert_eq!(
+            PcgVariant::SingleReduction.resolve(),
+            PcgVariant::SingleReduction
+        );
+        // Auto honors the cached environment pin (classic when unset).
+        assert_eq!(
+            PcgVariant::Auto.resolve(),
+            forced_pcg_variant().unwrap_or(PcgVariant::Classic)
+        );
     }
 }

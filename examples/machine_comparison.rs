@@ -88,6 +88,7 @@ fn main() {
             threads,
             tol: 1e-6,
             max_iterations: 50_000,
+            ..Default::default()
         };
         // Warm up once, then time a few repeats.
         let rep = solver.solve(&ord.rhs, &opts).expect("solve");

@@ -55,6 +55,38 @@
 //!   reduction into the phase producing its operands and replicates the
 //!   scalar reductions across workers: `m·(2C−1) + 3` barriers per
 //!   iteration (C colors, m steps), down from `m·(2C−1) + 9`.
+//! * **Single-reduction (communication-avoiding) variant** — classic PCG
+//!   serializes two inner products per iteration: `(p, Kp)` before α,
+//!   `(r̂, r)` before β. `PcgVariant::SingleReduction` runs the
+//!   Chronopoulos–Gear two-term recurrence instead — carry `s = Kp` and
+//!   `w = Kz`, reconstruct `α = γ′/(δ − β·γ′/α)` — so both scalars come
+//!   out of **one** fused reduction phase (`vecops::fused_dot3_norm`:
+//!   `(r, z)`, `(w, z)`, the `(p, s)` breakdown guard and the stopping
+//!   norm, in one sweep). Per-iteration cost model:
+//!
+//!   | schedule | reduction phases | SPMD barriers |
+//!   |---|---|---|
+//!   | classic | 2 (serialized) | `m·(2C−1) + 3` |
+//!   | single-reduction | **1** | `m·(2C−1) + 2` |
+//!   | classic, plain CG (`m = 0`) | 2 | 4 |
+//!   | single-reduction, plain CG | **1** | **2** (`z ≡ r`) |
+//!
+//!   Both counts are *measured*, not asserted: `PcgStats` carries
+//!   `reduction_phases`, the SPMD report carries `barrier_crossings` /
+//!   `reduction_phases` from an instrumented barrier, and
+//!   `BENCH_pr4.json` records them per variant on the Table-3 family.
+//!   The recurrence has a different-but-bounded rounding path, so the
+//!   contract is bitwise determinism across thread counts *within* each
+//!   variant and classic-vs-single-reduction agreement to a
+//!   relative-residual tolerance (`tests/pcg_variants.rs`); on
+//!   recurrence breakdown (`(p, s) ≤ 0` or a nonpositive reconstructed
+//!   denominator) every entry point falls back to the classic loop —
+//!   serial solves continue from the current iterate, the SPMD solver
+//!   reruns the solve. Selection: `PcgOptions::variant` /
+//!   `ParallelSolverOptions::variant`, with the validated
+//!   `MSPCG_PCG_VARIANT=classic|single_reduction` environment override
+//!   resolving the `Auto` default; CI runs the whole suite once under
+//!   `single_reduction`.
 //! * **Operator abstraction + SELL-C-σ** — every solver entry point
 //!   (`pcg_solve_into`, `pcg_solve_multi`, the SPMD `ParallelMStepPcg`,
 //!   the splitting/preconditioner constructors) is generic over

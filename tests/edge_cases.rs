@@ -171,6 +171,10 @@ fn fused_loop_agrees_with_manual_unfused_iteration() {
         .collect();
     let opts = PcgOptions {
         tol: 1e-10,
+        // Pinned classic: the manual replay below is the classic loop, and
+        // bitwise agreement is a classic-fusion claim — the env override
+        // must not redirect it to the single-reduction recurrence.
+        variant: mspcg::core::pcg::PcgVariant::Classic,
         ..Default::default()
     };
     let mut ws = PcgWorkspace::new(96);

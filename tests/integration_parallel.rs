@@ -34,6 +34,7 @@ fn threaded_matches_sequential_across_thread_counts() {
                     threads,
                     tol: 1e-9,
                     max_iterations: 50_000,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -65,6 +66,7 @@ fn parametrized_coefficients_work_threaded() {
                 threads: 4,
                 tol: 1e-9,
                 max_iterations: 50_000,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -98,6 +100,7 @@ fn threaded_cg_mode_matches_sequential_cg() {
                 threads: 3,
                 tol: 1e-8,
                 max_iterations: 50_000,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -122,6 +125,7 @@ fn repeated_threaded_solves_are_bitwise_identical() {
         threads: 4,
         tol: 1e-8,
         max_iterations: 50_000,
+        ..Default::default()
     };
     let a = par.solve(&ord.rhs, &opts).unwrap();
     let b = par.solve(&ord.rhs, &opts).unwrap();
