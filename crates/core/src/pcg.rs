@@ -36,9 +36,19 @@
 //! (`tests/pcg_variants.rs`). When the recurrence breaks down
 //! (`(p, s) ≤ 0` or a nonpositive reconstructed denominator) the solve
 //! **falls back to the classic loop from the current iterate** instead of
-//! erroring. Selection: [`PcgOptions::variant`], with the validated
-//! `MSPCG_PCG_VARIANT` environment override resolving
-//! [`PcgVariant::Auto`].
+//! erroring (recorded in [`PcgStats::fallbacks`]). Selection:
+//! [`PcgOptions::variant`], with the validated `MSPCG_PCG_VARIANT`
+//! environment override resolving [`PcgVariant::Auto`].
+//!
+//! [`PcgVariant::Pipelined`] goes one synchronization step further
+//! (Ghysels–Vanroose): two extra recurrence carries (`q = M⁻¹s`, `K·q`)
+//! and two recomputed auxiliaries (`mv = M⁻¹w`, `nv = K·mv`) rearrange
+//! the iteration so the one fused reduction reads only vectors finished
+//! *before* the preconditioner + SpMV — on the SPMD executor the
+//! reduction is initiated (split-barrier arrive) before that heavy phase
+//! and consumed (wait) after it, hiding its latency entirely. Same
+//! breakdown-fallback contract, with stricter guards (see
+//! `pipelined_loop`).
 //!
 //! Breakdown guards double as SPD validation: a nonpositive `(p, Kp)`
 //! reveals an indefinite `K`, a nonpositive `(r̂, r)` an indefinite `M`;
@@ -112,6 +122,12 @@ pub struct PcgStats {
     /// Total stationary steps inside the preconditioner
     /// (`applications × m`).
     pub precond_steps: usize,
+    /// Recurrence-breakdown fallbacks to the classic loop: a
+    /// single-reduction or pipelined attempt whose guards fired hands the
+    /// current iterate to [`PcgVariant::Classic`] and this counter
+    /// records it — the report "says `FALLBACK`" instead of hiding the
+    /// rescue.
+    pub fallbacks: usize,
 }
 
 /// Result of a (P)CG solve.
@@ -155,14 +171,17 @@ pub struct PcgReport {
 /// Algorithm 1 needs four working vectors (`r`, `r̂`, `p`, `Kp`); the
 /// single-reduction variant carries one more (`w = Kz`; its second carried
 /// vector `s = Kp` reuses the `Kp` slot, which that recurrence updates
-/// instead of recomputing). The one-shot entry points ([`pcg_solve`],
+/// instead of recomputing), and the pipelined variant four more (`q`,
+/// `K·q`, `mv = M⁻¹w`, `nv = K·mv`). The one-shot entry points ([`pcg_solve`],
 /// [`pcg_solve_from`]) allocate them per call; repeated solves over
 /// systems of one size — the ω sweep, the condition scans, the Table 2/3
 /// m sweeps — should construct one `PcgWorkspace` and call
 /// [`pcg_solve_into`], whose iteration performs **no heap allocation**
-/// after workspace construction for *either variant* (when history
+/// after workspace construction for *any variant* (when history
 /// recording is off; with it on, [`PcgWorkspace::reserve_history`]
-/// preallocates the record too).
+/// preallocates the record too). The pipelined carries are sized by the
+/// first pipelined solve — one warm-up allocation, so non-pipelined
+/// workspaces never pay for them.
 #[derive(Debug, Clone)]
 pub struct PcgWorkspace {
     r: Vec<f64>,
@@ -173,6 +192,19 @@ pub struct PcgWorkspace {
     /// so variant selection — including the env override — can never
     /// reintroduce a per-solve allocation).
     w: Vec<f64>,
+    /// `q = M⁻¹s` direction carry of the pipelined variant. The four
+    /// pipelined-only slots start **empty** (a classic or
+    /// single-reduction workspace must not pay 4·n dead floats) and are
+    /// sized by the first pipelined solve — a warm-up-once allocation,
+    /// after which pipelined solves are as allocation free as the rest.
+    q: Vec<f64>,
+    /// `K·q` direction carry of the pipelined variant.
+    zz: Vec<f64>,
+    /// `mv = M⁻¹w` auxiliary of the pipelined variant (the heavy-phase
+    /// product the overlapped reduction hides behind).
+    mv: Vec<f64>,
+    /// `nv = K·mv` auxiliary of the pipelined variant.
+    nv: Vec<f64>,
     /// Preconditioner scratch (sized on first use from
     /// [`Preconditioner::scratch_len`]); lets the hot loop call
     /// [`Preconditioner::apply_with`], bypassing any internal lock.
@@ -189,6 +221,10 @@ impl PcgWorkspace {
             p: vec![0.0; n],
             kp: vec![0.0; n],
             w: vec![0.0; n],
+            q: Vec::new(),
+            zz: Vec::new(),
+            mv: Vec::new(),
+            nv: Vec::new(),
             precond_scratch: Vec::new(),
             history: Vec::new(),
         }
@@ -207,6 +243,20 @@ impl PcgWorkspace {
         self.p.resize(n, 0.0);
         self.kp.resize(n, 0.0);
         self.w.resize(n, 0.0);
+        // Pipelined-only slots track the dimension only once in use.
+        if !self.q.is_empty() {
+            self.ensure_pipelined(n);
+        }
+    }
+
+    /// Size the four pipelined-only carries. Called by the first
+    /// pipelined solve on this workspace (allocates once); afterwards a
+    /// no-op, keeping the hot loop allocation free.
+    fn ensure_pipelined(&mut self, n: usize) {
+        self.q.resize(n, 0.0);
+        self.zz.resize(n, 0.0);
+        self.mv.resize(n, 0.0);
+        self.nv.resize(n, 0.0);
     }
 
     /// Preallocate the history record so that solves with
@@ -405,6 +455,21 @@ pub fn pcg_try_solve_into<A: SparseOp>(
                     // charging the iterations already performed and
                     // carrying the last measured ‖Δu‖∞ so a breakdown on
                     // the final budgeted iteration still reports it.
+                    stats.fallbacks += 1;
+                    classic_loop(k, f, u, m, opts, ws, &mut stats, f_norm, completed, change)
+                }
+            }
+        }
+        PcgVariant::Pipelined => {
+            ws.ensure_pipelined(n);
+            match pipelined_loop(k, f, u, m, opts, ws, &mut stats, f_norm)? {
+                SrFlow::Done(report) => Ok(report),
+                SrFlow::Fallback { completed, change } => {
+                    // Same rescue as the single-reduction variant: the
+                    // pipelined carries (z, w and the mv/nv auxiliaries)
+                    // have drifted past trust, so the classic loop
+                    // re-derives everything from the current iterate.
+                    stats.fallbacks += 1;
                     classic_loop(k, f, u, m, opts, ws, &mut stats, f_norm, completed, change)
                 }
             }
@@ -622,6 +687,7 @@ fn single_reduction_loop<A: SparseOp>(
         w,
         precond_scratch,
         history,
+        ..
     } = ws;
 
     // r⁰ = f − K u⁰;  z⁰ = M⁻¹ r⁰;  w⁰ = K z⁰.
@@ -754,6 +820,207 @@ fn single_reduction_loop<A: SparseOp>(
                 change,
             });
         }
+        beta = beta_new;
+        alpha = d3.rz / denom;
+        gamma = d3.rz;
+    }
+
+    Ok(SrFlow::Done(exit_report(
+        k,
+        f,
+        u,
+        r,
+        stats,
+        f_norm,
+        opts.max_iterations,
+        false,
+        change,
+    )))
+}
+
+/// The pipelined (Ghysels–Vanroose) loop: on top of the single-reduction
+/// carries `s = Kp` and `w = Kz`, the iteration carries `q = M⁻¹s` and
+/// `zz = K·q`, plus the recomputed auxiliaries `mv = M⁻¹w` and
+/// `nv = K·mv`, so the fused reduction phase only consumes vectors that
+/// were finished *before* the heavy phase of the iteration:
+///
+/// ```text
+/// p ← z + βp;  s ← w + βs;  q ← mv + βq;  zz ← nv + βzz
+/// u += αp;  r −= αs;  z −= αq;  w −= αzz   ⊕ stopping partials
+/// γ′ = (r, z), δ = (w, z), guard (p, s)    ← reduction INITIATED here
+/// mv = M⁻¹ w;  nv = K·mv                   ← overlapped heavy phase
+/// β = γ′/γ;  α = γ′/(δ − β·γ′/α_old)       ← reduction CONSUMED here
+/// ```
+///
+/// Nothing the heavy phase computes feeds the reduction, so the SPMD
+/// executor *initiates* the reduction (split-barrier `arrive`) before
+/// `M⁻¹w` / `K·mv` and *consumes* it (`wait`) after them — the reduction
+/// latency hides behind the heaviest work of the iteration. This serial
+/// analogue runs the same recurrences with the same stats; it consumes
+/// the reduction (and runs its guards) *before* the heavy phase, which
+/// changes no arithmetic — the scalars never feed `mv`/`nv` — but lets a
+/// converging or breaking-down final iteration skip one preconditioner
+/// application and SpMV.
+///
+/// Every iteration vector except `mv`/`nv` is a recurrence carry, so the
+/// rounding drift is larger than the single-reduction variant's; the
+/// guards are correspondingly stricter — a nonpositive carried
+/// `γ′ = (r, z)` routes to the classic **fallback**, not to an
+/// indefiniteness error, because a drifted carry cannot certify the sign
+/// of the true quadratic form (the classic continuation's fresh probes
+/// produce the canonical error if the system really is indefinite).
+#[allow(clippy::too_many_arguments)]
+fn pipelined_loop<A: SparseOp>(
+    k: &A,
+    f: &[f64],
+    u: &mut [f64],
+    m: &impl Preconditioner,
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+    stats: &mut PcgStats,
+    f_norm: f64,
+) -> Result<SrFlow, SparseError> {
+    let PcgWorkspace {
+        r,
+        rhat: z,
+        p,
+        kp: s,
+        w,
+        q,
+        zz,
+        mv,
+        nv,
+        precond_scratch,
+        history,
+    } = ws;
+
+    // r⁰ = f − K u⁰;  z⁰ = M⁻¹ r⁰;  w⁰ = K z⁰.
+    vecops::copy(f, r);
+    k.mul_vec_axpy(-1.0, u, r);
+    stats.spmv += 1;
+    m.apply_with(r, z, precond_scratch);
+    stats.precond_applications += 1;
+    stats.precond_steps += m.steps_per_apply();
+    k.mul_vec_into(z, w);
+    stats.spmv += 1;
+    // γ₀ = (r, z) and δ₀ = (w, z): one reduction phase, which the SPMD
+    // schedule initiates before — and consumes after — the mv/nv phase.
+    let mut gamma = vecops::dot(z, r);
+    let delta = vecops::dot(w, z);
+    stats.inner_products += 2;
+    stats.reduction_phases += 1;
+    if gamma < 0.0 {
+        // Freshly computed quadratic form (no drift yet): indefinite M.
+        return Err(SparseError::NotPositiveDefinite {
+            pivot: 0,
+            value: gamma,
+        });
+    }
+    if gamma == 0.0 {
+        return Ok(SrFlow::Done(exit_report(
+            k,
+            f,
+            u,
+            r,
+            stats,
+            f_norm,
+            0,
+            true,
+            f64::INFINITY,
+        )));
+    }
+    if delta <= 0.0 {
+        // (z, Kz) ≤ 0 with z ≠ 0: hand the start iterate to the classic
+        // loop, whose own probes produce the canonical typed error.
+        return Ok(SrFlow::Fallback {
+            completed: 0,
+            change: f64::INFINITY,
+        });
+    }
+    // mv⁰ = M⁻¹ w⁰;  nv⁰ = K mv⁰ — the first overlapped heavy phase.
+    m.apply_with(w, mv, precond_scratch);
+    stats.precond_applications += 1;
+    stats.precond_steps += m.steps_per_apply();
+    k.mul_vec_into(mv, nv);
+    stats.spmv += 1;
+    let mut alpha = gamma / delta;
+    let mut beta = 0.0f64;
+    let mut change = f64::INFINITY;
+
+    for iter in 1..=opts.max_iterations {
+        // The four direction carries, then the four iterate/carry updates,
+        // in four fused sweeps (β = 0 makes the direction carries exact
+        // copies: the initialization path).
+        vecops::fused_xpby_xpby(z, w, beta, p, s);
+        vecops::fused_xpby_xpby(mv, nv, beta, q, zz);
+        let norms = vecops::fused_axpy_axpy_norm(alpha, p, s, u, r);
+        vecops::fused_axpy2(-alpha, q, z, zz, w);
+        change = alpha.abs() * norms.p_norm_inf;
+        if opts.criterion == StoppingCriterion::DisplacementChange {
+            if opts.record_history {
+                history.push(change);
+            }
+            if change < opts.tol {
+                let final_rel = vecops::norm2_with_max(r, norms.r_norm_inf) / f_norm.max(1e-300);
+                return Ok(SrFlow::Done(PcgReport {
+                    iterations: iter,
+                    converged: true,
+                    final_change: change,
+                    final_relative_residual: final_rel,
+                    stats: *stats,
+                }));
+            }
+        }
+
+        // THE fused reduction phase: γ′, δ, the (p, s) guard and ‖r‖₂ in
+        // one sweep over the freshly updated carries.
+        let d3 = vecops::fused_dot3_norm(r, z, w, p, s, norms.r_norm_inf);
+        stats.inner_products += 3;
+        stats.reduction_phases += 1;
+
+        if opts.criterion == StoppingCriterion::RelativeResidual {
+            let rel = d3.r_norm2 / f_norm.max(1e-300);
+            if opts.record_history {
+                history.push(rel);
+            }
+            if rel < opts.tol {
+                return Ok(SrFlow::Done(PcgReport {
+                    iterations: iter,
+                    converged: true,
+                    final_change: change,
+                    final_relative_residual: rel,
+                    stats: *stats,
+                }));
+            }
+        }
+
+        // Guards: γ′ is a product of two recurrence carries (see the
+        // function docs), so every nonpositive scalar — carried γ′,
+        // measured curvature (p, s), or the reconstructed denominator —
+        // routes to the classic fallback.
+        if d3.rz <= 0.0 || d3.ps <= 0.0 {
+            return Ok(SrFlow::Fallback {
+                completed: iter,
+                change,
+            });
+        }
+        let beta_new = d3.rz / gamma.max(1e-300);
+        let denom = d3.wz - beta_new * d3.rz / alpha;
+        if !(denom.is_finite() && denom > 0.0) {
+            return Ok(SrFlow::Fallback {
+                completed: iter,
+                change,
+            });
+        }
+
+        // Overlapped heavy phase: the scalars above never feed it — the
+        // SPMD schedule runs it between the reduction's arrive and wait.
+        m.apply_with(w, mv, precond_scratch);
+        stats.precond_applications += 1;
+        stats.precond_steps += m.steps_per_apply();
+        k.mul_vec_into(mv, nv);
+        stats.spmv += 1;
+
         beta = beta_new;
         alpha = d3.rz / denom;
         gamma = d3.rz;
@@ -1303,9 +1570,184 @@ mod tests {
         for (x, y) in sol.x.iter().zip(&x_true) {
             assert!((x - y).abs() < 1e-6);
         }
+        // The report says FALLBACK: the rescue is a recorded event, not a
+        // silent rerun.
+        assert_eq!(sol.stats.fallbacks, 1);
         // The classic continuation is visible in the counters: a pure
         // single-reduction run performs at most iterations + 1 phases,
         // while the fallback's classic suffix adds two per iteration.
+        assert!(
+            sol.stats.reduction_phases >= sol.iterations + 2,
+            "{} phases for {} iterations — fallback never ran",
+            sol.stats.reduction_phases,
+            sol.iterations
+        );
+    }
+
+    #[test]
+    fn pipelined_matches_classic_solution() {
+        let (a, p) = rb(128);
+        let b: Vec<f64> = (0..128)
+            .map(|i| ((i * 7 + 5) % 23) as f64 * 0.2 - 2.0)
+            .collect();
+        for m in [1usize, 2, 4] {
+            let pre = MStepSsorPreconditioner::unparametrized(&a, &p, m).unwrap();
+            let classic =
+                pcg_solve(&a, &b, &pre, &variant_opts(PcgVariant::Classic, 1e-8)).unwrap();
+            let pl = pcg_solve(&a, &b, &pre, &variant_opts(PcgVariant::Pipelined, 1e-8)).unwrap();
+            assert!(classic.converged && pl.converged);
+            // At essential convergence the carried γ′ can dip nonpositive
+            // and trip the guard — the designed breakdown path, which the
+            // classic continuation finishes in a step or two. More than
+            // one fallback would mean the guards thrash.
+            assert!(pl.stats.fallbacks <= 1, "m = {m}: guards thrash");
+            // The pipelined recurrences drift more than the single-
+            // reduction ones; the Krylov space is still the same.
+            assert!(
+                (classic.iterations as isize - pl.iterations as isize).abs() <= 3,
+                "m = {m}: classic {} vs pipelined {}",
+                classic.iterations,
+                pl.iterations
+            );
+            let scale = pl.x.iter().fold(1.0f64, |a, &v| a.max(v.abs()));
+            for (x, y) in classic.x.iter().zip(&pl.x) {
+                assert!((x - y).abs() < 1e-5 * scale, "m = {m}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_performs_one_reduction_phase_per_iteration() {
+        let (a, p) = rb(96);
+        let b: Vec<f64> = (0..96).map(|i| (i as f64 * 0.17).sin()).collect();
+        let pre = MStepSsorPreconditioner::unparametrized(&a, &p, 2).unwrap();
+        let pl = pcg_solve(&a, &b, &pre, &variant_opts(PcgVariant::Pipelined, 1e-10)).unwrap();
+        // 1 init phase + 1 per iteration (the converging displacement-test
+        // iteration exits before its reduction phase).
+        assert!(
+            pl.stats.reduction_phases >= pl.iterations
+                && pl.stats.reduction_phases <= pl.iterations + 1,
+            "{} reduction phases for {} iterations",
+            pl.stats.reduction_phases,
+            pl.iterations
+        );
+        // One SpMV per full iteration (nv = K·mv) + three at init.
+        assert!(
+            pl.stats.spmv <= pl.iterations + 3,
+            "{} SpMVs for {} iterations",
+            pl.stats.spmv,
+            pl.iterations
+        );
+        // One preconditioner application per full iteration + two at init.
+        assert!(
+            pl.stats.precond_applications <= pl.iterations + 2,
+            "{} preconditioner applications for {} iterations",
+            pl.stats.precond_applications,
+            pl.iterations
+        );
+    }
+
+    #[test]
+    fn pipelined_workspace_reuse_is_bitwise_deterministic() {
+        let (a, p) = rb(64);
+        let pre = MStepSsorPreconditioner::unparametrized(&a, &p, 2).unwrap();
+        let b: Vec<f64> = (0..64).map(|i| ((i * 11 + 3) % 17) as f64 - 8.0).collect();
+        let opts = variant_opts(PcgVariant::Pipelined, 1e-10);
+        let mut ws = PcgWorkspace::new(64);
+        let mut u1 = vec![0.0; 64];
+        let rep1 = pcg_solve_into(&a, &b, &mut u1, &pre, &opts, &mut ws).unwrap();
+        let mut u2 = vec![0.0; 64];
+        let rep2 = pcg_solve_into(&a, &b, &mut u2, &pre, &opts, &mut ws).unwrap();
+        assert_eq!(u1, u2);
+        assert_eq!(rep1.iterations, rep2.iterations);
+        assert_eq!(rep1.final_change.to_bits(), rep2.final_change.to_bits());
+    }
+
+    #[test]
+    fn pipelined_rejects_indefinite_matrix_via_fallback() {
+        // Indefinite K: the pipelined guards hand the iterate to the
+        // classic loop, whose probes produce the canonical error.
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0).unwrap();
+        c.push(1, 1, -1.0).unwrap();
+        let a = c.to_csr();
+        let err = cg_solve(&a, &[1.0, 1.0], &variant_opts(PcgVariant::Pipelined, 1e-6));
+        assert!(matches!(err, Err(SparseError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn pipelined_budget_exhaustion_reports_true_residual() {
+        let a = laplacian(50);
+        let b = vec![1.0; 50];
+        let opts = PcgOptions {
+            tol: 1e-14,
+            max_iterations: 3,
+            variant: PcgVariant::Pipelined,
+            ..Default::default()
+        };
+        let mut ws = PcgWorkspace::new(50);
+        let mut u = vec![0.0; 50];
+        let rep = pcg_try_solve_into(
+            &a,
+            &b,
+            &mut u,
+            &IdentityPreconditioner::new(50),
+            &opts,
+            &mut ws,
+        )
+        .unwrap();
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 3);
+        assert!(rep.final_relative_residual.is_finite() && rep.final_relative_residual > 0.0);
+    }
+
+    #[test]
+    fn pipelined_zero_rhs_and_warm_start() {
+        let a = laplacian(10);
+        let opts = variant_opts(PcgVariant::Pipelined, 1e-8);
+        let sol = cg_solve(&a, &[0.0; 10], &opts).unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.x, vec![0.0; 10]);
+        // Warm start at the exact solution: γ = 0 at init.
+        let x_true: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b = a.mul_vec(&x_true);
+        let pre = IdentityPreconditioner::new(10);
+        let sol = pcg_solve_from(&a, &b, &x_true, &pre, &opts).unwrap();
+        assert!(sol.converged);
+        assert!(sol.iterations <= 1);
+    }
+
+    #[test]
+    fn pipelined_breakdown_falls_back_to_classic_and_converges() {
+        // The sabotaged application lands on mv = M⁻¹w (the pipelined
+        // heavy phase), poisoning the q/z carries: the next iteration's
+        // carried γ′/δ disagree with the true quadratic forms and a guard
+        // fires. The fallback must continue from the current iterate —
+        // visible in the counters — and the report must say FALLBACK.
+        let a = laplacian(32);
+        let x_true: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b = a.mul_vec(&x_true);
+        let pre = SabotagePreconditioner {
+            n: 32,
+            at_call: 3,
+            calls: std::cell::Cell::new(0),
+        };
+        let opts = PcgOptions {
+            tol: 1e-10,
+            criterion: StoppingCriterion::RelativeResidual,
+            variant: PcgVariant::Pipelined,
+            ..Default::default()
+        };
+        let sol = pcg_solve(&a, &b, &pre, &opts).unwrap();
+        assert!(sol.converged, "fallback did not rescue the solve");
+        assert!(sol.final_relative_residual < 1e-10);
+        for (x, y) in sol.x.iter().zip(&x_true) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        // The report says FALLBACK…
+        assert_eq!(sol.stats.fallbacks, 1);
+        // …and the classic continuation ran from the current iterate: its
+        // two serialized phases per iteration dominate the counter.
         assert!(
             sol.stats.reduction_phases >= sol.iterations + 2,
             "{} phases for {} iterations — fallback never ran",

@@ -27,6 +27,6 @@ pub mod barrier;
 pub mod shared;
 pub mod solver;
 
-pub use barrier::SpinBarrier;
+pub use barrier::{SpinBarrier, SplitBarrier};
 pub use mspcg_sparse::PcgVariant;
 pub use solver::{ParallelMStepPcg, ParallelSolveReport, ParallelSolverOptions};

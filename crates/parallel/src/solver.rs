@@ -62,8 +62,43 @@
 //! [`ParallelSolveReport::barrier_crossings`] /
 //! [`ParallelSolveReport::reduction_phases`] come from the instrumented
 //! [`SpinBarrier`] and the replicated-reduction counter.
+//!
+//! ## Pipelined schedule
+//!
+//! The single-reduction schedule still *blocks* at its one reduction:
+//! every worker idles at the w-phase barrier until the partials are
+//! replicated. Under [`PcgVariant::Pipelined`] (Ghysels–Vanroose) the
+//! recurrence carries two more vectors (`q = M⁻¹s`, `zz = K·q`) and
+//! recomputes two auxiliaries (`mv = M⁻¹w`, `nv = K·mv`) so the one
+//! reduction reads only vectors finished in the *update* phase — it is
+//! **initiated** there ([`SplitBarrier::arrive`]) and **consumed**
+//! ([`SplitBarrier::wait`]) only after the preconditioner + SpMV:
+//!
+//! ```text
+//! p ← z + βp; s ← w + βs; q ← mv + βq; zz ← nv + βzz;
+//! u += αp; r −= αs; z −= αq; w −= αzz
+//!   ⊕ γ′ = (r, z), δ = (w, z), ‖Δu‖∞, (p, s)
+//!   partials, arrive()                  0 barriers  (split arrive)
+//! mv ← M⁻¹ w                            m·(2C−1) barriers
+//! nv ← K·mv, wait()                     0 barriers  (split wait)
+//! ```
+//!
+//! i.e. `m·(2C−1)` full barriers plus **one split crossing** per
+//! iteration — *fewer* full barriers than single-reduction, with the
+//! reduction latency hidden behind the heaviest phase. The update phase
+//! needs no trailing barrier because everything it touches is own-strip;
+//! the cross-strip reads (`mv` in the trailing SpMV, the partial banks in
+//! the replicated sums) are protected by rotating banks whose next write
+//! is always separated from the last read by the following iteration's
+//! msolve barriers (for plain CG, `m = 0`: `w` itself rotates and one
+//! full barrier per iteration guards the cross-strip `K·w` read). The
+//! price of the overlap is one speculative heavy phase on the converging
+//! iteration and faster recurrence drift, guarded exactly like the
+//! single-reduction schedule (every nonpositive scalar → classic rerun).
+//! [`ParallelSolveReport::split_crossings`] measures the in-flight
+//! reductions; the exact-formula counter test pins the whole schedule.
 
-use crate::barrier::SpinBarrier;
+use crate::barrier::{SpinBarrier, SplitBarrier};
 use crate::shared::{slot, ScalarBank, SharedVec};
 use mspcg_sparse::{vecops, Partition, PcgVariant, SparseError, SparseOp};
 use std::sync::Arc;
@@ -117,10 +152,16 @@ pub struct ParallelSolveReport {
     /// synchronization cost the `m·(2C−1) + k` model predicts.
     pub barrier_crossings: usize,
     /// Replicated dot-product reduction phases feeding α/β: two per
-    /// classic iteration, one per single-reduction iteration (plus one at
-    /// init). The ‖Δu‖∞ stopping max is the paper's flag network and is
-    /// not counted.
+    /// classic iteration, one per single-reduction or pipelined iteration
+    /// (plus one at init). The ‖Δu‖∞ stopping max is the paper's flag
+    /// network and is not counted.
     pub reduction_phases: usize,
+    /// [`SplitBarrier`] crossings of the run: one per reduction **in
+    /// flight** on the pipelined schedule (arrive before the
+    /// preconditioner + SpMV phase, wait after it). Zero on the classic
+    /// and single-reduction schedules, whose reductions block at a
+    /// [`SpinBarrier`] instead.
+    pub split_crossings: usize,
 }
 
 /// Status codes passed from worker 0 to the main thread. The zeroed bank
@@ -139,8 +180,42 @@ mod status {
 /// Internal outcome of one pinned-schedule run.
 enum SolveOutcome {
     Report(ParallelSolveReport),
-    /// Single-reduction breakdown: rerun classically.
+    /// Single-reduction / pipelined breakdown: rerun classically.
     Fallback,
+}
+
+/// The shared-vector bundle of the pipelined schedule (the worker would
+/// otherwise take two dozen parameters). Bank pairs rotate by iteration
+/// parity — see [`ParallelMStepPcg::worker_pipelined`] for the aliasing
+/// argument.
+struct PipelinedVecs<'a> {
+    u: &'a SharedVec,
+    r: &'a SharedVec,
+    /// Preconditioned-residual carry (`m ≥ 1`; `z ≡ r` for plain CG).
+    z: &'a SharedVec,
+    p: &'a SharedVec,
+    /// `s = Kp` carry (the workspace's `kp` slot).
+    s: &'a SharedVec,
+    /// `q = M⁻¹s` carry (`m ≥ 1`; `q ≡ s` for plain CG).
+    q: &'a SharedVec,
+    /// `K·q` carry.
+    zz: &'a SharedVec,
+    /// `nv = K·mv` auxiliary (read own-strip only — single bank).
+    nv: &'a SharedVec,
+    /// `w = Kz` carry; bank-rotated for `m = 0` (where the `K·w` SpMV
+    /// reads it cross-strip), single bank `[0]` otherwise.
+    w: [&'a SharedVec; 2],
+    /// `mv = M⁻¹w` auxiliary, bank-rotated (`m ≥ 1`): the trailing SpMV
+    /// reads it cross-strip.
+    mv: [&'a SharedVec; 2],
+    /// SSOR half-sum cache (own rows only).
+    y: &'a SharedVec,
+    /// Parity-rotated reduction partial banks: γ′ = (r, z), δ = (w, z),
+    /// the ‖Δu‖∞ stopping partial and the (p, s) guard.
+    gamma: [&'a SharedVec; 2],
+    delta: [&'a SharedVec; 2],
+    change: [&'a SharedVec; 2],
+    guard: [&'a SharedVec; 2],
 }
 
 /// The threaded m-step SSOR PCG solver (ω = 1), constructible from a
@@ -310,9 +385,10 @@ impl ParallelMStepPcg {
         f: &[f64],
         opts: &ParallelSolverOptions,
     ) -> Result<ParallelSolveReport, SparseError> {
-        match opts.variant.resolve() {
-            PcgVariant::SingleReduction => {
-                match self.solve_variant(f, opts, PcgVariant::SingleReduction)? {
+        let pinned = opts.variant.resolve();
+        match pinned {
+            PcgVariant::SingleReduction | PcgVariant::Pipelined => {
+                match self.solve_variant(f, opts, pinned)? {
                     SolveOutcome::Report(report) => Ok(report),
                     SolveOutcome::Fallback => {
                         match self.solve_variant(f, opts, PcgVariant::Classic)? {
@@ -345,6 +421,8 @@ impl ParallelMStepPcg {
             });
         }
         let single_reduction = variant == PcgVariant::SingleReduction;
+        let pipelined = variant == PcgVariant::Pipelined;
+        let m_zero = self.alphas.is_empty();
         let threads = self.resolve_threads(opts.threads);
 
         // Contiguous ownership strips.
@@ -367,18 +445,53 @@ impl ParallelMStepPcg {
         let p = SharedVec::zeros(n);
         let kp = SharedVec::zeros(n);
         let y = SharedVec::zeros(n);
-        // The `w = Kz` carry of the single-reduction recurrence.
-        let w = SharedVec::zeros(if single_reduction { n } else { 0 });
+        // The `w = Kz` carry of the single-reduction and pipelined
+        // recurrences.
+        let w = SharedVec::zeros(if single_reduction || pipelined { n } else { 0 });
+        // Pipelined extras: the `q = M⁻¹s` / `K·q` carries, the `mv`/`nv`
+        // auxiliaries, and the second banks of the parity rotation (`mv`
+        // rotates for m ≥ 1, `w` rotates for plain CG — see
+        // `worker_pipelined`). Zero-length whenever unused.
+        let q = SharedVec::zeros(if pipelined && !m_zero { n } else { 0 });
+        let zz = SharedVec::zeros(if pipelined { n } else { 0 });
+        let nv = SharedVec::zeros(if pipelined { n } else { 0 });
+        let mv0 = SharedVec::zeros(if pipelined && !m_zero { n } else { 0 });
+        let mv1 = SharedVec::zeros(if pipelined && !m_zero { n } else { 0 });
+        let w1 = SharedVec::zeros(if pipelined && m_zero { n } else { 0 });
         // Rotating partial banks: a phase's partial writes must never
         // alias a straggler's replicated-reduction reads of the previous
         // bank (at least one barrier always separates a bank's readers
-        // from its next writer).
+        // from its next writer). The pipelined schedule rotates dedicated
+        // bank *pairs* by iteration parity instead.
         let dot_partials = SharedVec::zeros(threads);
         let change_partials = SharedVec::zeros(threads);
         let rz_partials = SharedVec::zeros(threads);
         let ps_partials = SharedVec::zeros(if single_reduction { threads } else { 0 });
+        let plen = if pipelined { threads } else { 0 };
+        let pl_gamma = [SharedVec::zeros(plen), SharedVec::zeros(plen)];
+        let pl_delta = [SharedVec::zeros(plen), SharedVec::zeros(plen)];
+        let pl_change = [SharedVec::zeros(plen), SharedVec::zeros(plen)];
+        let pl_guard = [SharedVec::zeros(plen), SharedVec::zeros(plen)];
+        let pl = PipelinedVecs {
+            u: &u,
+            r: &r,
+            z: &z,
+            p: &p,
+            s: &kp,
+            q: &q,
+            zz: &zz,
+            nv: &nv,
+            w: [&w, &w1],
+            mv: [&mv0, &mv1],
+            y: &y,
+            gamma: [&pl_gamma[0], &pl_gamma[1]],
+            delta: [&pl_delta[0], &pl_delta[1]],
+            change: [&pl_change[0], &pl_change[1]],
+            guard: [&pl_guard[0], &pl_guard[1]],
+        };
         let bank = ScalarBank::new();
         let barrier = SpinBarrier::new(threads);
+        let split = SplitBarrier::new(threads);
         // [iterations, final_change, reduction_phases]
         let iters_out = SharedVec::zeros(3);
 
@@ -389,13 +502,18 @@ impl ParallelMStepPcg {
                     (&u, &r, &z, &p, &kp, &y, &w, &bank, &barrier, &iters_out);
                 let (dot_partials, change_partials, rz_partials, ps_partials) =
                     (&dot_partials, &change_partials, &rz_partials, &ps_partials);
+                let (pl, split) = (&pl, &split);
                 let this = &*self;
                 // `serialized` pins the shared kernels to this worker:
                 // each strip is small by construction, so nested pool
                 // launches would only add contention.
                 s.spawn(move || {
                     mspcg_sparse::par::serialized(|| {
-                        if single_reduction {
+                        if pipelined {
+                            this.worker_pipelined(
+                                t, strip, pl, bank, barrier, split, iters_out, opts,
+                            );
+                        } else if single_reduction {
                             this.worker_single_reduction(
                                 t,
                                 strip,
@@ -467,6 +585,7 @@ impl ParallelMStepPcg {
                 variant,
                 barrier_crossings: barrier.crossings(),
                 reduction_phases,
+                split_crossings: split.crossings(),
             })),
         }
     }
@@ -510,7 +629,7 @@ impl ParallelMStepPcg {
 
         // --- init: z = M⁻¹ r, with p ← z and the (z, r) partial fused
         // into the preconditioner's final color phase — no extra barriers.
-        self.msolve_phases(&own, t, r, z, y, Some(p), rz_partials, barrier);
+        self.msolve_phases(&own, t, r, z, y, Some(p), Some(rz_partials), barrier);
         let mut rz: f64 = unsafe { rz_partials.read().iter().sum() };
         phases += 1;
         if rz < 0.0 {
@@ -624,7 +743,7 @@ impl ParallelMStepPcg {
             }
 
             // --- z = M⁻¹ r, (z, r) partial fused into the final phase --------
-            self.msolve_phases(&own, t, r, z, y, None, rz_partials, barrier);
+            self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
 
             // --- β (replicated) ---------------------------------------------
             let rz_new: f64 = unsafe { rz_partials.read().iter().sum() };
@@ -702,7 +821,7 @@ impl ParallelMStepPcg {
         // final color phase; for m = 0, z ≡ r and the (r, r) partial
         // rides the w phase instead.
         if !m_zero {
-            self.msolve_phases(&own, t, r, z, y, None, rz_partials, barrier);
+            self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
         }
         self.w_phase(&own, t, m_zero, r, z, w, wz_partials, rz_partials, barrier);
 
@@ -783,7 +902,7 @@ impl ParallelMStepPcg {
             // --- z = M⁻¹ r, (z, r) partial fused into the final phase,
             // then w = K z ⊕ (w, z) — THE reduction phase ---------------------
             if !m_zero {
-                self.msolve_phases(&own, t, r, z, y, None, rz_partials, barrier);
+                self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
             }
             self.w_phase(&own, t, m_zero, r, z, w, wz_partials, rz_partials, barrier);
 
@@ -798,6 +917,276 @@ impl ParallelMStepPcg {
             if gamma_new == 0.0 {
                 // Exact convergence in fewer than n steps.
                 finish(status::CONVERGED, iter, change, phases);
+                return;
+            }
+            let beta_new = gamma_new / gamma.max(1e-300);
+            let denom = delta - beta_new * gamma_new / alpha;
+            if !(denom.is_finite() && denom > 0.0) {
+                finish(status::FALLBACK, iter, change, phases);
+                return;
+            }
+            beta = beta_new;
+            alpha = gamma_new / denom;
+            gamma = gamma_new;
+        }
+    }
+
+    /// The SPMD body of the **pipelined** (Ghysels–Vanroose) schedule.
+    /// Same phase discipline as [`ParallelMStepPcg::worker`]; the
+    /// differences are the extra recurrence carries (`q = M⁻¹s`,
+    /// `zz = K·q`) and recomputed auxiliaries (`mv = M⁻¹w`, `nv = K·mv`),
+    /// the bank parity rotation, and that the one reduction phase is
+    /// **split**: its partials are published in the update mega-phase and
+    /// *initiated* with [`SplitBarrier::arrive`], the preconditioner +
+    /// `nv = K·mv` heavy phase runs inside the overlap window, and only
+    /// then is the reduction *consumed* with [`SplitBarrier::wait`] — the
+    /// reduction latency hides behind the heaviest work of the iteration.
+    ///
+    /// Why no full barrier borders the update phase (`m ≥ 1`): every
+    /// vector the update touches is read and written **own-strip only**,
+    /// and the msolve that follows reads its input `w` at own rows only —
+    /// the only cross-strip reads anywhere are of the msolve's *output*
+    /// (ordered by its internal color barriers, with the fused `w₀ = 0`
+    /// start guaranteeing no stale element is ever read) and of the `mv`
+    /// bank in the trailing SpMV, which is why `mv` (and the reduction
+    /// partial banks) **rotate by iteration parity**: the next write of a
+    /// bank is separated from its last cross-strip read by the following
+    /// iteration's msolve barriers. For plain CG (`m = 0`, `z ≡ r`,
+    /// `q ≡ s`, `mv ≡ w`) the SpMV input is `w` itself, so `w` rotates
+    /// instead and one full barrier per iteration separates the w-bank
+    /// write from the cross-strip `K·w` read.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_pipelined(
+        &self,
+        t: usize,
+        strip: std::ops::Range<usize>,
+        vecs: &PipelinedVecs<'_>,
+        bank: &ScalarBank,
+        barrier: &SpinBarrier,
+        split: &SplitBarrier,
+        iters_out: &SharedVec,
+        opts: &ParallelSolverOptions,
+    ) {
+        let own = strip;
+        let m_zero = self.alphas.is_empty();
+        let mut phases = 0usize;
+        // Worker-0 outcome publication (every branch below is taken
+        // unanimously — the scalars are replicated).
+        let finish = |code: f64, iterations: usize, change: f64, phases: usize| {
+            if t == 0 {
+                unsafe {
+                    bank.set(slot::STOP, code);
+                    iters_out.write_at(0, iterations as f64);
+                    iters_out.write_at(1, change);
+                    iters_out.write_at(2, phases as f64);
+                }
+            }
+        };
+
+        // --- init: z⁰ = M⁻¹ r⁰ (γ₀ = (z, r) fused into the msolve tail),
+        // w⁰ = K z⁰ ⊕ δ₀ = (w, z), then the FIRST overlap window:
+        // arrive → mv⁰ = M⁻¹ w⁰, nv⁰ = K mv⁰ → wait.
+        if !m_zero {
+            self.msolve_phases(
+                &own,
+                t,
+                vecs.r,
+                vecs.z,
+                vecs.y,
+                None,
+                Some(vecs.gamma[0]),
+                barrier,
+            );
+            // z⁰ was finalized by the msolve's last internal barrier.
+            unsafe {
+                let zv = vecs.z.read();
+                let out = vecs.w[0].write(own.clone());
+                self.strip_spmv(zv, out, own.clone());
+                vecs.delta[0].write_at(t, vecops::dot(&zv[own.clone()], out));
+            }
+            let ticket = split.arrive();
+            // The msolve reads its input w⁰ at own rows only — no barrier.
+            self.msolve_phases(&own, t, vecs.w[0], vecs.mv[0], vecs.y, None, None, barrier);
+            unsafe {
+                let mvv = vecs.mv[0].read();
+                let out = vecs.nv.write(own.clone());
+                self.strip_spmv(mvv, out, own.clone());
+            }
+            split.wait(ticket);
+        } else {
+            // z ≡ r = f (read-only so far): w⁰ = K f ⊕ both partials.
+            unsafe {
+                let rv = vecs.r.read();
+                let out = vecs.w[0].write(own.clone());
+                self.strip_spmv(rv, out, own.clone());
+                let rs = &rv[own.clone()];
+                vecs.gamma[0].write_at(t, vecops::dot(rs, rs));
+                vecs.delta[0].write_at(t, vecops::dot(rs, out));
+            }
+            let ticket = split.arrive();
+            // nv⁰ = K w⁰ reads w⁰ cross-strip: one full barrier.
+            barrier.wait();
+            unsafe {
+                let wv = vecs.w[0].read();
+                let out = vecs.nv.write(own.clone());
+                self.strip_spmv(wv, out, own.clone());
+            }
+            split.wait(ticket);
+        }
+
+        // --- γ₀, δ₀ (replicated, consumed after the overlap window) ------
+        let mut gamma: f64 = unsafe { vecs.gamma[0].read().iter().sum() };
+        let delta0: f64 = unsafe { vecs.delta[0].read().iter().sum() };
+        phases += 1;
+        if gamma < 0.0 {
+            // Fresh quadratic form (no drift yet): indefinite M.
+            finish(status::INDEFINITE_M, 0, 0.0, phases);
+            return;
+        }
+        if gamma == 0.0 {
+            finish(status::CONVERGED, 0, 0.0, phases);
+            return;
+        }
+        if opts.max_iterations == 0 {
+            finish(status::BUDGET, 0, f64::INFINITY, phases);
+            return;
+        }
+        if delta0 <= 0.0 {
+            finish(status::FALLBACK, 0, 0.0, phases);
+            return;
+        }
+        let mut alpha = gamma / delta0;
+        let mut beta = 0.0f64;
+
+        for iter in 1..=opts.max_iterations {
+            // Bank parity: iteration k publishes into bank k mod 2, so a
+            // fast worker's next-iteration writes can never alias a
+            // straggler's reads of this iteration's banks (the following
+            // iteration's barrier — msolve internal or the m = 0 pre-SpMV
+            // barrier — separates a bank's readers from its next writer).
+            let pk = iter & 1;
+            let prev = pk ^ 1;
+
+            // --- fused update mega-phase (own strip only): the four
+            // direction carries, the four iterate/carry updates, and all
+            // four reduction partials in ONE traversal — then arrive.
+            unsafe {
+                let mut max_p = 0.0f64;
+                let mut ps = 0.0f64;
+                let mut gam = 0.0f64;
+                let mut del = 0.0f64;
+                if m_zero {
+                    let w_old = &vecs.w[prev].read()[own.clone()];
+                    let nvv = &vecs.nv.read()[own.clone()];
+                    let pv = vecs.p.write(own.clone());
+                    let sv = vecs.s.write(own.clone());
+                    let zzv = vecs.zz.write(own.clone());
+                    let uv = vecs.u.write(own.clone());
+                    let rv = vecs.r.write(own.clone());
+                    let w_new = vecs.w[pk].write(own.clone());
+                    for i in 0..own.len() {
+                        let ri_old = rv[i];
+                        let pi = ri_old + beta * pv[i];
+                        let si = w_old[i] + beta * sv[i];
+                        let zzi = nvv[i] + beta * zzv[i];
+                        pv[i] = pi;
+                        sv[i] = si;
+                        zzv[i] = zzi;
+                        uv[i] += alpha * pi;
+                        let ri = ri_old - alpha * si;
+                        rv[i] = ri;
+                        let wi = w_old[i] - alpha * zzi;
+                        w_new[i] = wi;
+                        let a = pi.abs();
+                        if a > max_p {
+                            max_p = a;
+                        }
+                        ps += pi * si;
+                        gam += ri * ri;
+                        del += wi * ri;
+                    }
+                } else {
+                    let mvv = &vecs.mv[prev].read()[own.clone()];
+                    let nvv = &vecs.nv.read()[own.clone()];
+                    let pv = vecs.p.write(own.clone());
+                    let sv = vecs.s.write(own.clone());
+                    let qv = vecs.q.write(own.clone());
+                    let zzv = vecs.zz.write(own.clone());
+                    let uv = vecs.u.write(own.clone());
+                    let rv = vecs.r.write(own.clone());
+                    let zv = vecs.z.write(own.clone());
+                    let wv = vecs.w[0].write(own.clone());
+                    for i in 0..own.len() {
+                        let pi = zv[i] + beta * pv[i];
+                        let si = wv[i] + beta * sv[i];
+                        let qi = mvv[i] + beta * qv[i];
+                        let zzi = nvv[i] + beta * zzv[i];
+                        pv[i] = pi;
+                        sv[i] = si;
+                        qv[i] = qi;
+                        zzv[i] = zzi;
+                        uv[i] += alpha * pi;
+                        let ri = rv[i] - alpha * si;
+                        rv[i] = ri;
+                        let zi = zv[i] - alpha * qi;
+                        zv[i] = zi;
+                        let wi = wv[i] - alpha * zzi;
+                        wv[i] = wi;
+                        let a = pi.abs();
+                        if a > max_p {
+                            max_p = a;
+                        }
+                        ps += pi * si;
+                        gam += ri * zi;
+                        del += wi * zi;
+                    }
+                }
+                vecs.change[pk].write_at(t, alpha.abs() * max_p);
+                vecs.guard[pk].write_at(t, ps);
+                vecs.gamma[pk].write_at(t, gam);
+                vecs.delta[pk].write_at(t, del);
+            }
+            let ticket = split.arrive();
+
+            // --- overlapped heavy phase: mv = M⁻¹w, nv = K·mv -------------
+            if m_zero {
+                // mv ≡ w: the K·w SpMV reads w cross-strip — one barrier.
+                barrier.wait();
+                unsafe {
+                    let wv = vecs.w[pk].read();
+                    let out = vecs.nv.write(own.clone());
+                    self.strip_spmv(wv, out, own.clone());
+                }
+            } else {
+                self.msolve_phases(&own, t, vecs.w[0], vecs.mv[pk], vecs.y, None, None, barrier);
+                unsafe {
+                    let mvv = vecs.mv[pk].read();
+                    let out = vecs.nv.write(own.clone());
+                    self.strip_spmv(mvv, out, own.clone());
+                }
+            }
+            split.wait(ticket);
+
+            // --- replicated decisions (reduction consumed HERE, after the
+            // heavy phase — the wait is the late half of the split) -------
+            let change = unsafe { vecs.change[pk].read().iter().fold(0.0f64, |a, &b| a.max(b)) };
+            let gamma_new: f64 = unsafe { vecs.gamma[pk].read().iter().sum() };
+            let delta: f64 = unsafe { vecs.delta[pk].read().iter().sum() };
+            let ps: f64 = unsafe { vecs.guard[pk].read().iter().sum() };
+            phases += 1;
+            if change < opts.tol {
+                finish(status::CONVERGED, iter, change, phases);
+                return;
+            }
+            if iter == opts.max_iterations {
+                finish(status::BUDGET, iter, change, phases);
+                return;
+            }
+            // Guards: γ′ = (r, z) is a product of two recurrence carries
+            // (not a fresh quadratic form), so every nonpositive scalar
+            // routes to the classic fallback — see the serial loop's docs.
+            if gamma_new <= 0.0 || ps <= 0.0 {
+                finish(status::FALLBACK, iter, change, phases);
                 return;
             }
             let beta_new = gamma_new / gamma.max(1e-300);
@@ -853,10 +1242,12 @@ impl ParallelMStepPcg {
     ///   the old zero-fill phase and its barrier are gone), exactly like
     ///   the sequential `MulticolorSsor::forward_first`;
     /// * the **final color phase** additionally forms this worker's
-    ///   `(z, r)` strip partial — every `z` element of the strip was
-    ///   written by this worker in this or an earlier phase of the solve,
-    ///   so the partial needs no extra barrier — and, during
-    ///   initialization (`p0 = Some`), copies the strip into `p⁰`.
+    ///   `(z, r)` strip partial when a bank is supplied (`rz_partials =
+    ///   Some`; the pipelined schedule's auxiliary solves pass `None`) —
+    ///   every `z` element of the strip was written by this worker in
+    ///   this or an earlier phase of the solve, so the partial needs no
+    ///   extra barrier — and, during initialization (`p0 = Some`), copies
+    ///   the strip into `p⁰`.
     #[allow(clippy::too_many_arguments)]
     fn msolve_phases(
         &self,
@@ -866,7 +1257,7 @@ impl ParallelMStepPcg {
         z: &SharedVec,
         y: &SharedVec,
         p0: Option<&SharedVec>,
-        rz_partials: &SharedVec,
+        rz_partials: Option<&SharedVec>,
         barrier: &SpinBarrier,
     ) {
         // Tail fused into the final phase, before its barrier. SAFETY of
@@ -879,7 +1270,9 @@ impl ParallelMStepPcg {
             if let Some(p) = p0 {
                 p.write(own.clone()).copy_from_slice(&zs[own.clone()]);
             }
-            rz_partials.write_at(t, vecops::dot(&zs[own.clone()], &rs[own.clone()]));
+            if let Some(bank) = rz_partials {
+                bank.write_at(t, vecops::dot(&zs[own.clone()], &rs[own.clone()]));
+            }
         };
         if self.alphas.is_empty() {
             unsafe {
@@ -1292,6 +1685,202 @@ mod tests {
                 tol: 1e-8,
                 max_iterations: 0,
                 variant: PcgVariant::SingleReduction,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(SparseError::DidNotConverge { iterations: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn pipelined_matches_classic_solution() {
+        let (a, colors, rhs) = plate(8);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let classic = par
+            .solve(&rhs, &variant_opts(PcgVariant::Classic, 4, 1e-8))
+            .unwrap();
+        let pl = par
+            .solve(&rhs, &variant_opts(PcgVariant::Pipelined, 4, 1e-8))
+            .unwrap();
+        assert!(classic.converged && pl.converged);
+        assert_eq!(pl.variant, PcgVariant::Pipelined, "fell back unexpectedly");
+        assert!(
+            (classic.iterations as isize - pl.iterations as isize).abs() <= 3,
+            "classic {} vs pipelined {}",
+            classic.iterations,
+            pl.iterations
+        );
+        for (x, y) in classic.x.iter().zip(&pl.x) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    /// The acceptance gate of the pipelined schedule, by exact formula.
+    ///
+    /// `sweep = m·(2C−1)` full-barrier crossings per msolve. For a run of
+    /// `I` iterations (the converging iteration runs its full schedule —
+    /// its heavy phase is speculative, the price of the overlap):
+    ///
+    /// * **m ≥ 1 — spin crossings `(I + 2)·sweep`:** init runs TWO
+    ///   msolves (`z⁰ = M⁻¹f`, then `mv⁰ = M⁻¹w⁰`) and each iteration
+    ///   exactly one. *No other full barrier exists*: the update
+    ///   mega-phase touches own strips only, so its trailing barrier is
+    ///   replaced by the split `arrive`, and the `nv = K·mv` SpMV needs
+    ///   none because `nv` is only ever read own-strip and the `mv` bank
+    ///   it reads cross-strip rotates by parity.
+    /// * **m = 0 — spin crossings `I + 1`:** the single full barrier per
+    ///   iteration (plus one at init) separates the rotated w-bank write
+    ///   from the cross-strip `K·w` read; there is no preconditioner.
+    /// * **split crossings `I + 1`:** exactly one reduction in flight per
+    ///   iteration (plus init) — `arrive` directly after the update
+    ///   phase's partials, `wait` only after the preconditioner + SpMV.
+    ///   Together with the spin formulas this *proves* the overlap: no
+    ///   full barrier sits between the partial publication and the heavy
+    ///   phase, so the only reduction synchronization is the split wait,
+    ///   which the schedule places after the heavy phase.
+    /// * **reduction phases `I + 1`:** one per iteration plus init (the
+    ///   converging iteration's γ′/δ ride the same wait as its stopping
+    ///   test, so it is counted too).
+    ///
+    /// The classic and single-reduction schedules must be byte-for-byte
+    /// unchanged by the pipelined addition — their formulas are asserted
+    /// here as well (at m ≥ 1; the existing counter test pins them too),
+    /// along with `split_crossings == 0`: those schedules never touch the
+    /// split barrier.
+    #[test]
+    fn barrier_counter_proves_pipelined_schedule() {
+        let (a, colors, rhs) = plate(8);
+        let c = colors.num_blocks();
+        for m in [0usize, 1, 2, 3] {
+            let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; m]).unwrap();
+            let sweep = m * (2 * c - 1);
+            for threads in [1usize, 4] {
+                let pl = par
+                    .solve(&rhs, &variant_opts(PcgVariant::Pipelined, threads, 1e-8))
+                    .unwrap();
+                assert!(pl.converged);
+                assert_eq!(
+                    pl.variant,
+                    PcgVariant::Pipelined,
+                    "fell back, m = {m}, threads = {threads}"
+                );
+                let i = pl.iterations;
+                assert!(i >= 1);
+                let expected_spin = if m == 0 { i + 1 } else { (i + 2) * sweep };
+                assert_eq!(
+                    pl.barrier_crossings, expected_spin,
+                    "pipelined spin-barrier count, m = {m}, threads = {threads}"
+                );
+                assert_eq!(
+                    pl.split_crossings,
+                    i + 1,
+                    "pipelined split-barrier count, m = {m}, threads = {threads}"
+                );
+                assert_eq!(
+                    pl.reduction_phases,
+                    i + 1,
+                    "pipelined reduction phases, m = {m}, threads = {threads}"
+                );
+
+                // Classic and single-reduction schedules unchanged (and
+                // split-barrier free).
+                let classic = par
+                    .solve(&rhs, &variant_opts(PcgVariant::Classic, threads, 1e-8))
+                    .unwrap();
+                let sr = par
+                    .solve(
+                        &rhs,
+                        &variant_opts(PcgVariant::SingleReduction, threads, 1e-8),
+                    )
+                    .unwrap();
+                assert_eq!(classic.split_crossings, 0);
+                assert_eq!(sr.split_crossings, 0);
+                let (kc, ks) = (classic.iterations, sr.iterations);
+                // Classic m = 0 still pays a one-barrier z ← r copy phase
+                // where an m ≥ 1 run pays the sweep.
+                let msolve = if m == 0 { 1 } else { sweep };
+                assert_eq!(
+                    classic.barrier_crossings,
+                    msolve + (kc - 1) * (msolve + 3) + 2,
+                    "classic barrier count changed, m = {m}, threads = {threads}"
+                );
+                if m == 0 {
+                    // SR plain CG: z ≡ r, two barriers per iteration.
+                    assert_eq!(sr.barrier_crossings, 2 * ks);
+                } else {
+                    assert_eq!(
+                        sr.barrier_crossings,
+                        sweep + 1 + (ks - 1) * (sweep + 2) + 1,
+                        "single-reduction barrier count changed, m = {m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_is_deterministic_and_format_insensitive() {
+        let (a, colors, rhs) = plate(7);
+        let sell = mspcg_sparse::SellCsMatrix::from_csr_default(&a);
+        let par_csr = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let par_sell = ParallelMStepPcg::new(&sell, &colors, vec![1.0; 2]).unwrap();
+        let opts = variant_opts(PcgVariant::Pipelined, 4, 1e-8);
+        let r1 = par_csr.solve(&rhs, &opts).unwrap();
+        let r2 = par_csr.solve(&rhs, &opts).unwrap();
+        // Bitwise reproducible within the variant.
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x);
+        // And across storage formats (one extracted sweep table).
+        let rs = par_sell.solve(&rhs, &opts).unwrap();
+        assert_eq!(r1.iterations, rs.iterations);
+        assert!(r1
+            .x
+            .iter()
+            .zip(&rs.x)
+            .all(|(u, v)| u.to_bits() == v.to_bits()));
+    }
+
+    #[test]
+    fn pipelined_plain_cg_converges_on_one_barrier_per_iteration() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![]).unwrap();
+        let pl = par
+            .solve(&rhs, &variant_opts(PcgVariant::Pipelined, 3, 1e-8))
+            .unwrap();
+        assert!(pl.converged);
+        assert_eq!(pl.barrier_crossings, pl.iterations + 1);
+        assert_eq!(pl.split_crossings, pl.iterations + 1);
+        let exact = a.to_dense().cholesky().unwrap().solve(&rhs);
+        for (x, v) in pl.x.iter().zip(&exact) {
+            assert!((x - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pipelined_budget_and_zero_budget_match_classic_reporting() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let err = par.solve(
+            &rhs,
+            &ParallelSolverOptions {
+                threads: 2,
+                tol: 1e-14,
+                max_iterations: 2,
+                variant: PcgVariant::Pipelined,
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(SparseError::DidNotConverge { iterations: 2, .. })
+        ));
+        let err = par.solve(
+            &rhs,
+            &ParallelSolverOptions {
+                threads: 2,
+                tol: 1e-8,
+                max_iterations: 0,
+                variant: PcgVariant::Pipelined,
             },
         );
         assert!(matches!(

@@ -16,7 +16,7 @@
 //! | `MSPCG_PAR_MIN_NNZ` | [`DEFAULT_PAR_MIN_NNZ`] | sparse kernels (SpMV, SSOR sweeps) with fewer stored entries run serially |
 //! | `MSPCG_MIN_SPMV_CHUNK_NNZ` | [`DEFAULT_MIN_SPMV_CHUNK_NNZ`] | minimum stored entries per nnz-weighted SpMV chunk |
 //! | `MSPCG_FORCE_FORMAT` | *(unset)* | pin [`crate::op::AutoOp`] to one storage format (`csr` or `sellcs`) |
-//! | `MSPCG_PCG_VARIANT` | *(unset)* | pin the PCG iteration variant (`classic` or `single_reduction`) for every solver whose options leave the variant on automatic |
+//! | `MSPCG_PCG_VARIANT` | *(unset)* | pin the PCG iteration variant (`classic`, `single_reduction` or `pipelined`) for every solver whose options leave the variant on automatic |
 //!
 //! Values are read **once**, at first use, and cached for the lifetime of
 //! the process: chunk layouts derived from them must stay fixed so the
@@ -148,6 +148,13 @@ pub enum PcgVariant {
     /// so `α` and `β` both come out of **one** fused reduction phase per
     /// iteration — the communication-avoiding form.
     SingleReduction,
+    /// Ghysels–Vanroose pipelined recurrence: additionally carry
+    /// `mv = M⁻¹w` and `nv = K·mv` (with the direction carries `q` and
+    /// `z`), so the one reduction of the single-reduction form is
+    /// **initiated before** the preconditioner + SpMV of the next
+    /// iteration and **consumed after** them — the reduction latency
+    /// hides behind the heaviest phase instead of merely being fused.
+    Pipelined,
 }
 
 impl PcgVariant {
@@ -163,12 +170,14 @@ impl PcgVariant {
 }
 
 /// Parse an `MSPCG_PCG_VARIANT` value: `Some(variant)` for a known name
-/// (`classic` / `single_reduction`, case-insensitive, `single-reduction` /
-/// `sr` accepted as aliases), `None` for anything else.
+/// (`classic` / `single_reduction` / `pipelined`, case-insensitive, with
+/// the `single-reduction` / `sr` and `gv` aliases), `None` for anything
+/// else.
 pub fn parse_variant(raw: &str) -> Option<PcgVariant> {
     match raw.trim().to_ascii_lowercase().as_str() {
         "classic" => Some(PcgVariant::Classic),
         "single_reduction" | "single-reduction" | "sr" => Some(PcgVariant::SingleReduction),
+        "pipelined" | "gv" => Some(PcgVariant::Pipelined),
         _ => None,
     }
 }
@@ -186,7 +195,7 @@ pub fn forced_pcg_variant() -> Option<PcgVariant> {
             let parsed = parse_variant(&v);
             debug_assert!(
                 parsed.is_some(),
-                "MSPCG_PCG_VARIANT must be `classic` or `single_reduction`, got {v:?}"
+                "MSPCG_PCG_VARIANT must be `classic`, `single_reduction` or `pipelined`, got {v:?}"
             );
             parsed
         }
@@ -252,7 +261,10 @@ mod tests {
             Some(PcgVariant::SingleReduction)
         );
         assert_eq!(parse_variant("sr"), Some(PcgVariant::SingleReduction));
-        assert_eq!(parse_variant("pipelined"), None);
+        assert_eq!(parse_variant("pipelined"), Some(PcgVariant::Pipelined));
+        assert_eq!(parse_variant(" Pipelined "), Some(PcgVariant::Pipelined));
+        assert_eq!(parse_variant("gv"), Some(PcgVariant::Pipelined));
+        assert_eq!(parse_variant("ghysels"), None);
         assert_eq!(parse_variant(""), None);
         assert_eq!(parse_variant("auto"), None); // Auto is the absence of a pin
     }
@@ -263,6 +275,7 @@ mod tests {
             PcgVariant::Auto,
             PcgVariant::Classic,
             PcgVariant::SingleReduction,
+            PcgVariant::Pipelined,
         ] {
             assert_ne!(v.resolve(), PcgVariant::Auto);
         }
@@ -271,6 +284,7 @@ mod tests {
             PcgVariant::SingleReduction.resolve(),
             PcgVariant::SingleReduction
         );
+        assert_eq!(PcgVariant::Pipelined.resolve(), PcgVariant::Pipelined);
         // Auto honors the cached environment pin (classic when unset).
         assert_eq!(
             PcgVariant::Auto.resolve(),

@@ -547,6 +547,54 @@ pub fn fused_xpby_xpby(x1: &[f64], x2: &[f64], b: f64, y1: &mut [f64], y2: &mut 
     });
 }
 
+/// `y1 ← y1 + a·x1` and `y2 ← y2 + a·x2` in **one pass** — the paired
+/// recurrence updates of the pipelined (Ghysels–Vanroose) PCG iteration,
+/// `z ← z − α·q` and `w ← w − α·zz`, which share the scalar and the chunk
+/// layout. One memory traversal and one kernel launch instead of two
+/// [`axpy`] sweeps.
+///
+/// Chunk deterministic and bitwise identical to the unfused
+/// `axpy(a, x1, y1); axpy(a, x2, y2)` sequence (same layout, same
+/// per-element arithmetic, disjoint chunk writes).
+///
+/// # Panics
+/// Panics if the four slices differ in length.
+pub fn fused_axpy2(a: f64, x1: &[f64], y1: &mut [f64], x2: &[f64], y2: &mut [f64]) {
+    let n = x1.len();
+    assert_eq!(y1.len(), n, "fused_axpy2: y1 length mismatch");
+    assert_eq!(x2.len(), n, "fused_axpy2: x2 length mismatch");
+    assert_eq!(y2.len(), n, "fused_axpy2: y2 length mismatch");
+    let (chunk, nchunks) = par::reduction_layout(n);
+    let update = |lo: usize, hi: usize, y1c: &mut [f64], y2c: &mut [f64]| {
+        for (yi, xi) in y1c.iter_mut().zip(&x1[lo..hi]) {
+            *yi += a * xi;
+        }
+        for (yi, xi) in y2c.iter_mut().zip(&x2[lo..hi]) {
+            *yi += a * xi;
+        }
+    };
+    let threads = par::threads_for(n, tuning::par_min_elems());
+    if threads <= 1 {
+        for c in 0..nchunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let (y1c, y2c) = (&mut y1[lo..hi], &mut y2[lo..hi]);
+            update(lo, hi, y1c, y2c);
+        }
+        return;
+    }
+    let y1s = par::ParSlice::new(y1);
+    let y2s = par::ParSlice::new(y2);
+    par::for_each_chunk(nchunks, threads, &|c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        // SAFETY: chunks are disjoint and each claimed exactly once.
+        unsafe {
+            update(lo, hi, y1s.slice_mut(lo..hi), y2s.slice_mut(lo..hi));
+        }
+    });
+}
+
 /// [`fused_xpby_xpby`] that additionally returns the inner product of the
 /// **updated** vectors, `(y1, y2)` — for the single-reduction PCG this is
 /// the `(p, s)` curvature guard, formed while both operands are still in
@@ -1021,6 +1069,45 @@ mod tests {
                 .zip(&y2_ref)
                 .all(|(a, c)| a.to_bits() == c.to_bits()));
         }
+    }
+
+    #[test]
+    fn fused_axpy2_matches_unfused_sequence() {
+        let n = crate::par::MIN_REDUCTION_CHUNK + 47;
+        let x1: Vec<f64> = (0..n).map(|i| ((i * 19 + 3) % 127) as f64 * 0.02).collect();
+        let x2: Vec<f64> = (0..n)
+            .map(|i| ((i * 7 + 11) % 113) as f64 * 0.03 - 1.5)
+            .collect();
+        let y10: Vec<f64> = (0..n).map(|i| ((i * 3 + 1) % 71) as f64 * 0.1).collect();
+        let y20: Vec<f64> = (0..n)
+            .map(|i| ((i * 13 + 5) % 83) as f64 * 0.05 - 2.0)
+            .collect();
+        for a in [0.0, -0.731, 1.25] {
+            let mut y1_ref = y10.clone();
+            let mut y2_ref = y20.clone();
+            axpy(a, &x1, &mut y1_ref);
+            axpy(a, &x2, &mut y2_ref);
+            let mut y1 = y10.clone();
+            let mut y2 = y20.clone();
+            fused_axpy2(a, &x1, &mut y1, &x2, &mut y2);
+            assert!(y1
+                .iter()
+                .zip(&y1_ref)
+                .all(|(u, v)| u.to_bits() == v.to_bits()));
+            assert!(y2
+                .iter()
+                .zip(&y2_ref)
+                .all(|(u, v)| u.to_bits() == v.to_bits()));
+        }
+        // Tiny and empty inputs.
+        let mut e1: [f64; 0] = [];
+        let mut e2: [f64; 0] = [];
+        fused_axpy2(2.0, &[], &mut e1, &[], &mut e2);
+        let mut a1 = [1.0];
+        let mut a2 = [2.0];
+        fused_axpy2(0.5, &[4.0], &mut a1, &[-2.0], &mut a2);
+        assert_eq!(a1, [3.0]);
+        assert_eq!(a2, [1.0]);
     }
 
     #[test]

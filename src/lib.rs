@@ -64,29 +64,52 @@
 //!   `(r, z)`, `(w, z)`, the `(p, s)` breakdown guard and the stopping
 //!   norm, in one sweep). Per-iteration cost model:
 //!
-//!   | schedule | reduction phases | SPMD barriers |
-//!   |---|---|---|
-//!   | classic | 2 (serialized) | `m·(2C−1) + 3` |
-//!   | single-reduction | **1** | `m·(2C−1) + 2` |
-//!   | classic, plain CG (`m = 0`) | 2 | 4 |
-//!   | single-reduction, plain CG | **1** | **2** (`z ≡ r`) |
+//!   | schedule | reduction phases | SPMD barriers | reduction overlap window |
+//!   |---|---|---|---|
+//!   | classic | 2 (serialized) | `m·(2C−1) + 3` | — (both block) |
+//!   | single-reduction | **1** | `m·(2C−1) + 2` | — (fused, still blocks) |
+//!   | pipelined | **1, in flight** | **`m·(2C−1)`** + 1 split crossing | the whole `M⁻¹w` + `K·mv` phase |
+//!   | classic, plain CG (`m = 0`) | 2 | 4 | — |
+//!   | single-reduction, plain CG | **1** | **2** (`z ≡ r`) | — |
+//!   | pipelined, plain CG | **1, in flight** | **1** + 1 split crossing | the `K·w` SpMV |
 //!
 //!   Both counts are *measured*, not asserted: `PcgStats` carries
-//!   `reduction_phases`, the SPMD report carries `barrier_crossings` /
-//!   `reduction_phases` from an instrumented barrier, and
-//!   `BENCH_pr4.json` records them per variant on the Table-3 family.
-//!   The recurrence has a different-but-bounded rounding path, so the
-//!   contract is bitwise determinism across thread counts *within* each
-//!   variant and classic-vs-single-reduction agreement to a
-//!   relative-residual tolerance (`tests/pcg_variants.rs`); on
-//!   recurrence breakdown (`(p, s) ≤ 0` or a nonpositive reconstructed
-//!   denominator) every entry point falls back to the classic loop —
-//!   serial solves continue from the current iterate, the SPMD solver
-//!   reruns the solve. Selection: `PcgOptions::variant` /
-//!   `ParallelSolverOptions::variant`, with the validated
-//!   `MSPCG_PCG_VARIANT=classic|single_reduction` environment override
-//!   resolving the `Auto` default; CI runs the whole suite once under
-//!   `single_reduction`.
+//!   `reduction_phases` (and `fallbacks`), the SPMD report carries
+//!   `barrier_crossings` / `reduction_phases` / `split_crossings` from
+//!   instrumented barriers, and `BENCH_pr5.json` records them per
+//!   variant on the Table-3 family. The recurrences have
+//!   different-but-bounded rounding paths, so the contract is bitwise
+//!   determinism across thread counts *within* each variant and
+//!   cross-variant agreement to a residual tolerance
+//!   (`tests/pcg_variants.rs`, `tests/variant_conformance.rs`); on
+//!   recurrence breakdown (`(p, s) ≤ 0`, a nonpositive reconstructed
+//!   denominator, or — pipelined — a nonpositive carried `γ′`) every
+//!   entry point falls back to the classic loop — serial solves continue
+//!   from the current iterate, the SPMD solver reruns the solve.
+//!   Selection: `PcgOptions::variant` / `ParallelSolverOptions::variant`,
+//!   with the validated
+//!   `MSPCG_PCG_VARIANT=classic|single_reduction|pipelined` environment
+//!   override resolving the `Auto` default; CI runs the whole suite once
+//!   under `single_reduction` and once under `pipelined`.
+//! * **Pipelined (Ghysels–Vanroose) variant** — the single-reduction
+//!   schedule still *blocks* at its one reduction barrier.
+//!   `PcgVariant::Pipelined` carries two more recurrence vectors
+//!   (`q = M⁻¹s`, `K·q`) and recomputes `mv = M⁻¹w` / `nv = K·mv` each
+//!   iteration, so the γ/δ reduction reads only vectors finished in the
+//!   update phase: the SPMD executor **initiates** it there
+//!   (`SplitBarrier::arrive`, a new split-phase primitive in
+//!   `mspcg-parallel`) and **consumes** it (`wait`) only after the
+//!   preconditioner + SpMV — the reduction latency hides behind the
+//!   heaviest phase, and the update mega-phase needs *no trailing
+//!   barrier at all* (own-strip analysis + parity-rotated `mv`/partial
+//!   banks), which is why the pipelined iteration runs on `m·(2C−1)`
+//!   full barriers where single-reduction needs `+ 2`. Costs: one
+//!   speculative heavy phase on the converging iteration, ~4 extra
+//!   vector carries, and faster drift (hence the stricter guards). The
+//!   exact schedule — full-barrier, split-crossing and reduction-phase
+//!   formulas at `m ∈ {0..3}` — is pinned by counter tests; honest
+//!   1-core caveat: this container cannot show the latency win, only the
+//!   counter proof (`BENCH_pr5.json` records both).
 //! * **Operator abstraction + SELL-C-σ** — every solver entry point
 //!   (`pcg_solve_into`, `pcg_solve_multi`, the SPMD `ParallelMStepPcg`,
 //!   the splitting/preconditioner constructors) is generic over

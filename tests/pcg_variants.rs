@@ -20,6 +20,7 @@ use mspcg::core::multi::{pcg_solve_multi, MultiRhsWorkspace};
 use mspcg::core::pcg::{
     pcg_solve, pcg_solve_into, PcgOptions, PcgVariant, PcgWorkspace, StoppingCriterion,
 };
+use mspcg::core::preconditioner::Preconditioner;
 use mspcg::fem::plate::PlaneStressProblem;
 use mspcg::fem::poisson::poisson5;
 use mspcg::parallel::{ParallelMStepPcg, ParallelSolverOptions};
@@ -34,25 +35,8 @@ fn sweep_lock() -> MutexGuard<'static, ()> {
         .unwrap_or_else(|e| e.into_inner())
 }
 
-/// Deterministic xorshift64 stream (the in-repo property-test generator).
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        self.0
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+mod common;
+use common::Rng;
 
 fn ordered_plate(a: usize) -> (CsrMatrix, Partition) {
     let asm = PlaneStressProblem::unit_square(a)
@@ -215,6 +199,84 @@ fn multi_rhs_batch_replays_standalone_single_reduction_bitwise() {
             rep.iterations
         );
     }
+}
+
+/// The adversarial preconditioner of the breakdown tests: the identity on
+/// every application except one, where it adds a huge constant component
+/// — a low-curvature direction that sends the recurrence's reconstructed
+/// denominator nonpositive while the matrix itself stays SPD.
+struct AdversarialPreconditioner {
+    n: usize,
+    at_call: usize,
+    calls: std::cell::Cell<usize>,
+}
+
+impl Preconditioner for AdversarialPreconditioner {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let call = self.calls.get();
+        self.calls.set(call + 1);
+        z.copy_from_slice(r);
+        if call == self.at_call {
+            // Signed by Σr so the carried γ′ stays positive — the guard
+            // that must fire is the denominator/curvature one, the
+            // fallback path, not the indefinite-M error.
+            let s: f64 = r.iter().sum();
+            let t = 1e8f64.copysign(s);
+            for zi in z.iter_mut() {
+                *zi += t;
+            }
+        }
+    }
+}
+
+/// Pipelined-breakdown satellite: the sabotaged application lands on the
+/// heavy phase `mv = M⁻¹w`, poisoning the `q`/`z` carries; a guard must
+/// fire, the solve must CONTINUE from the current iterate on the classic
+/// loop (not restart or error), and the report must say FALLBACK.
+#[test]
+fn pipelined_breakdown_falls_back_from_current_iterate_and_reports_fallback() {
+    let (a, _) = ordered_plate(7);
+    let n = a.rows();
+    let mut rng = Rng::new(0xBAD5EED);
+    let b: Vec<f64> = (0..n).map(|_| rng.unit() * 2.0 - 1.0).collect();
+    let pre = AdversarialPreconditioner {
+        n,
+        at_call: 4,
+        calls: std::cell::Cell::new(0),
+    };
+    let solve_opts = opts(PcgVariant::Pipelined, 1e-10);
+    let sol = pcg_solve(&a, &b, &pre, &solve_opts).expect("fallback must rescue the solve");
+    assert!(sol.converged);
+    // The report says FALLBACK.
+    assert_eq!(sol.stats.fallbacks, 1, "breakdown was not recorded");
+    assert!(true_residual(&a, &b, &sol.x) < 50.0 * 1e-10);
+    // Continuation, not restart: the classic suffix runs from the current
+    // iterate, so its two serialized reduction phases per iteration stack
+    // on top of the pipelined prefix's one per iteration…
+    assert!(
+        sol.stats.reduction_phases >= sol.iterations + 2,
+        "{} phases over {} iterations — the classic suffix never ran",
+        sol.stats.reduction_phases,
+        sol.iterations
+    );
+    // …and the total stays near an uninterrupted identity-preconditioned
+    // classic solve (a restart would roughly double it).
+    let clean = pcg_solve(
+        &a,
+        &b,
+        &mspcg::core::preconditioner::IdentityPreconditioner::new(n),
+        &opts(PcgVariant::Classic, 1e-10),
+    )
+    .expect("clean classic");
+    assert!(
+        sol.iterations <= clean.iterations + clean.iterations / 2 + 8,
+        "fallback {} vs clean {} iterations — looks like a restart",
+        sol.iterations,
+        clean.iterations
+    );
 }
 
 /// SPMD solver: the `MSPCG_PCG_VARIANT`-style selection through the

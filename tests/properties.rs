@@ -18,26 +18,8 @@ use mspcg::sparse::{CooMatrix, CsrMatrix, DiaMatrix, Permutation, SellCsMatrix, 
 /// Cases per property (matches the old proptest configuration).
 const CASES: u64 = 24;
 
-/// Deterministic xorshift64 stream.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        self.0
-    }
-
-    /// Uniform draw from `lo..hi`.
-    fn range(&mut self, lo: usize, hi: usize) -> usize {
-        lo + (self.next() % (hi - lo) as u64) as usize
-    }
-}
+mod common;
+use common::Rng;
 
 /// Random sparse symmetric strictly-diagonally-dominant (hence SPD)
 /// matrix of order `n` with roughly `extra` off-diagonal pairs.
