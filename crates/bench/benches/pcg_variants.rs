@@ -116,6 +116,9 @@ fn bench_spmd(results: &mut Vec<BenchResult>, a: usize, m: usize, threads: usize
             tol: 1e-8,
             max_iterations: 100_000,
             variant,
+            // Pin the exact schedule: the counter assertions below must
+            // not absorb audit phases from environment overrides.
+            recovery: mspcg_core::RecoveryPolicy::off(),
         };
         let group = format!("spmd_variant_plate{a}_m{m}_t{threads}");
         let mut record = bench(&group, variant_name(variant), || {

@@ -28,7 +28,12 @@
 //! * [`analysis`] — Eq. (4.1)/(4.2) cost model, optimal-m prediction and
 //!   condition-number studies (the κ(M⁻¹K) vs m experiments),
 //! * [`ic`] — the IC(0) incomplete-Cholesky baseline the m-step method
-//!   competes with (effective per iteration, but inherently sequential).
+//!   competes with (effective per iteration, but inherently sequential),
+//! * [`recovery`] — fault injection ([`recovery::FaultyOp`],
+//!   [`recovery::FaultyPreconditioner`]), residual auditing with
+//!   replacement, and the [`recovery::RecoveryPolicy`] ladder that steps
+//!   Pipelined → SingleReduction → Classic on breakdown or detected
+//!   corruption.
 
 // Indexed `for i in 0..n` loops are deliberate throughout the numeric
 // kernels: they address several parallel arrays (CSR structure, split
@@ -44,6 +49,7 @@ pub mod multi;
 pub mod pcg;
 pub mod preconditioner;
 pub mod quadrature;
+pub mod recovery;
 pub mod splitting;
 pub mod ssor;
 
@@ -56,5 +62,9 @@ pub use pcg::{
     PcgVariant, PcgWorkspace, StoppingCriterion,
 };
 pub use preconditioner::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};
+pub use recovery::{
+    ApplicationFault, FaultKind, FaultPlan, FaultTarget, FaultyOp, FaultyPreconditioner,
+    IterationFault, RecoveryPolicy, Toggle,
+};
 pub use splitting::{JacobiSplitting, NaturalSsorSplitting, Splitting};
 pub use ssor::MulticolorSsor;

@@ -36,12 +36,34 @@ use mspcg_sparse::{par, tuning, SparseError, SparseOp};
 /// How one right-hand side of a batch ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveStatus {
-    /// The stopping test fired within the iteration budget.
+    /// The stopping test fired within the iteration budget, with no
+    /// recovery of any kind — a clean solve.
     Converged,
+    /// Converged, but only after the recovery ladder stepped down at
+    /// least once (`stats.fallbacks > 0`): the result is trustworthy, but
+    /// the requested variant did not finish the job on its own.
+    Recovered,
+    /// Converged after one or more residual replacements or in-place
+    /// non-finite recoveries (`stats.replacements > 0`) without any
+    /// ladder step — drift or corruption was caught and repaired inside
+    /// the requested variant.
+    Replaced,
     /// The budget ran out; the report carries the true final residual.
     BudgetExhausted,
-    /// Inner-product breakdown (indefinite matrix or preconditioner).
+    /// Inner-product breakdown (indefinite matrix or preconditioner), or
+    /// a non-finite value that exhausted the recovery budget.
     Breakdown,
+}
+
+impl SolveStatus {
+    /// Whether this status means the returned iterate satisfies the
+    /// stopping test (cleanly or rescued).
+    pub fn is_converged(self) -> bool {
+        matches!(
+            self,
+            SolveStatus::Converged | SolveStatus::Recovered | SolveStatus::Replaced
+        )
+    }
 }
 
 /// Per-RHS result of a [`pcg_solve_multi`] call.
@@ -75,8 +97,11 @@ impl RhsOutcome {
 pub struct MultiRhsSummary {
     /// Right-hand sides processed.
     pub solved: usize,
-    /// How many converged.
+    /// How many converged (cleanly, recovered, or replaced).
     pub converged: usize,
+    /// How many of the converged needed a rescue
+    /// ([`SolveStatus::Recovered`] or [`SolveStatus::Replaced`]).
+    pub rescued: usize,
     /// Iterations summed over the batch.
     pub total_iterations: usize,
     /// Worst final relative residual across the batch.
@@ -206,7 +231,10 @@ impl BatchPtrs {
 /// let mut ws = MultiRhsWorkspace::new(4, 2);
 /// let sum = pcg_solve_multi(&k, &f, &mut u, &m, &PcgOptions::default(), &mut ws)?;
 /// assert_eq!(sum.converged, 2);
-/// assert!(ws.outcomes().iter().all(|o| o.status == SolveStatus::Converged));
+/// // Recovered/Replaced also satisfy the stopping test — check the
+/// // status class, not the exact variant (a forced recurrence schedule
+/// // may rescue itself on a tiny system).
+/// assert!(ws.outcomes().iter().all(|o| o.status.is_converged()));
 /// # Ok::<(), mspcg_sparse::SparseError>(())
 /// ```
 ///
@@ -214,6 +242,10 @@ impl BatchPtrs {
 /// [`SparseError::NotSquare`] for a rectangular matrix,
 /// [`SparseError::ShapeMismatch`] when `f.len()` is not a multiple of `n`,
 /// `u.len() != f.len()`, or the preconditioner dimension differs.
+/// [`SparseError::InvalidTolerance`] for a nonpositive or non-finite
+/// tolerance, and [`SparseError::NonFinite`] when any right-hand side or
+/// initial guess carries a NaN/Inf entry — both rejected up front, before
+/// any lane starts iterating.
 pub fn pcg_solve_multi<A: SparseOp>(
     k: &A,
     f: &[f64],
@@ -246,6 +278,25 @@ pub fn pcg_solve_multi<A: SparseOp>(
         });
     }
     let nrhs = f.len() / n;
+
+    // Reject poisoned inputs before any lane starts: a NaN smuggled in
+    // through one right-hand side would otherwise burn that lane's whole
+    // iteration budget (or a recovery ladder walk) on garbage.
+    if !(opts.tol.is_finite() && opts.tol > 0.0) {
+        return Err(SparseError::InvalidTolerance { value: opts.tol });
+    }
+    if f.iter().any(|v| !v.is_finite()) {
+        return Err(SparseError::NonFinite {
+            phase: "rhs",
+            iteration: 0,
+        });
+    }
+    if u.iter().any(|v| !v.is_finite()) {
+        return Err(SparseError::NonFinite {
+            phase: "initial-guess",
+            iteration: 0,
+        });
+    }
 
     // Regime selection: a matrix whose kernels would fan out across the
     // pool keeps the batch sequential (kernel-level parallelism); below
@@ -299,8 +350,11 @@ pub fn pcg_solve_multi<A: SparseOp>(
         ..Default::default()
     };
     for o in &ws.outcomes {
-        if o.status == SolveStatus::Converged {
+        if o.status.is_converged() {
             summary.converged += 1;
+            if o.status != SolveStatus::Converged {
+                summary.rescued += 1;
+            }
         }
         summary.total_iterations += o.report.iterations;
         let rel = o.report.final_relative_residual;
@@ -342,17 +396,30 @@ fn solve_one_into<A: SparseOp>(
 ) -> RhsOutcome {
     match pcg_try_solve_into(k, fi, ui, m, opts, lane) {
         Ok(report) => RhsOutcome {
-            status: if report.converged {
-                SolveStatus::Converged
-            } else {
+            status: if !report.converged {
                 SolveStatus::BudgetExhausted
+            } else if report.stats.fallbacks > 0 {
+                SolveStatus::Recovered
+            } else if report.stats.replacements > 0 {
+                SolveStatus::Replaced
+            } else {
+                SolveStatus::Converged
             },
             report,
         },
         Err(e) => {
             let mut out = RhsOutcome::placeholder();
-            if let SparseError::NotPositiveDefinite { pivot, .. } = e {
-                out.report.iterations = pivot;
+            match e {
+                SparseError::NotPositiveDefinite { pivot, .. } => {
+                    out.report.iterations = pivot;
+                }
+                // Budget-exhausted non-finite recovery: like an
+                // indefiniteness breakdown, the iteration at which the
+                // solve gave up is the only meaningful number.
+                SparseError::NonFinite { iteration, .. } => {
+                    out.report.iterations = iteration;
+                }
+                _ => {}
             }
             out
         }
@@ -514,5 +581,122 @@ mod tests {
         let sum = pcg_solve_multi(&a, &f, &mut u, &pre, &PcgOptions::default(), &mut ws).unwrap();
         assert_eq!(sum.converged, 3);
         assert!(u[16..32].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn poisoned_batch_inputs_are_rejected_up_front() {
+        let (a, p) = rb_laplacian(16);
+        let pre = MStepSsorPreconditioner::unparametrized(&a, &p, 1).unwrap();
+        let mut ws = MultiRhsWorkspace::new(16, 2);
+        let f = batch_rhs(16, 2);
+        let mut u = vec![0.0; 2 * 16];
+
+        let mut bad_f = f.clone();
+        bad_f[20] = f64::NAN;
+        let err =
+            pcg_solve_multi(&a, &bad_f, &mut u, &pre, &PcgOptions::default(), &mut ws).unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::NonFinite {
+                phase: "rhs",
+                iteration: 0
+            }
+        ));
+
+        let mut bad_u = vec![0.0; 2 * 16];
+        bad_u[3] = f64::INFINITY;
+        let err =
+            pcg_solve_multi(&a, &f, &mut bad_u, &pre, &PcgOptions::default(), &mut ws).unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::NonFinite {
+                phase: "initial-guess",
+                iteration: 0
+            }
+        ));
+
+        for tol in [0.0, -1e-8, f64::NAN, f64::INFINITY] {
+            let opts = PcgOptions {
+                tol,
+                ..Default::default()
+            };
+            let err = pcg_solve_multi(&a, &f, &mut u, &pre, &opts, &mut ws).unwrap_err();
+            assert!(matches!(err, SparseError::InvalidTolerance { .. }));
+        }
+    }
+
+    #[test]
+    fn in_place_recovery_surfaces_as_replaced_status() {
+        use crate::pcg::{PcgVariant, StoppingCriterion};
+        use crate::preconditioner::IdentityPreconditioner;
+        use crate::recovery::{ApplicationFault, FaultKind, FaultyPreconditioner};
+
+        let (a, _p) = rb_laplacian(32);
+        // One RHS so the shared application counter is deterministic.
+        let f = batch_rhs(32, 1);
+        let mut u = vec![0.0; 32];
+        let pre = FaultyPreconditioner::new(
+            IdentityPreconditioner::new(32),
+            vec![ApplicationFault {
+                application: 2,
+                index: 5,
+                kind: FaultKind::NaN,
+            }],
+        );
+        let opts = PcgOptions {
+            tol: 1e-10,
+            criterion: StoppingCriterion::RelativeResidual,
+            variant: PcgVariant::Classic,
+            ..Default::default()
+        };
+        let mut ws = MultiRhsWorkspace::new(32, 1);
+        let sum = pcg_solve_multi(&a, &f, &mut u, &pre, &opts, &mut ws).unwrap();
+        assert_eq!(pre.injected(), 1);
+        let out = &ws.outcomes()[0];
+        // Classic recovers in place: a replacement, no ladder step.
+        assert_eq!(out.status, SolveStatus::Replaced);
+        assert!(out.status.is_converged());
+        assert_eq!(out.report.stats.replacements, 1);
+        assert_eq!(out.report.stats.fallbacks, 0);
+        assert_eq!(out.report.stats.faults_detected, 1);
+        assert_eq!(sum.converged, 1);
+        assert_eq!(sum.rescued, 1);
+    }
+
+    #[test]
+    fn ladder_step_surfaces_as_recovered_status() {
+        use crate::pcg::{PcgVariant, StoppingCriterion};
+        use crate::preconditioner::IdentityPreconditioner;
+        use crate::recovery::{ApplicationFault, FaultKind, FaultyPreconditioner};
+
+        let (a, _p) = rb_laplacian(32);
+        let f = batch_rhs(32, 1);
+        let mut u = vec![0.0; 32];
+        let pre = FaultyPreconditioner::new(
+            IdentityPreconditioner::new(32),
+            vec![ApplicationFault {
+                application: 2,
+                index: 5,
+                kind: FaultKind::NaN,
+            }],
+        );
+        // SingleReduction has no same-rung restart for a poisoned scalar:
+        // it steps down the ladder to classic, which must finish the job.
+        let opts = PcgOptions {
+            tol: 1e-10,
+            criterion: StoppingCriterion::RelativeResidual,
+            variant: PcgVariant::SingleReduction,
+            ..Default::default()
+        };
+        let mut ws = MultiRhsWorkspace::new(32, 1);
+        let sum = pcg_solve_multi(&a, &f, &mut u, &pre, &opts, &mut ws).unwrap();
+        assert_eq!(pre.injected(), 1);
+        let out = &ws.outcomes()[0];
+        assert_eq!(out.status, SolveStatus::Recovered);
+        assert!(out.status.is_converged());
+        assert!(out.report.stats.fallbacks >= 1);
+        assert_eq!(out.report.stats.faults_detected, 1);
+        assert_eq!(sum.converged, 1);
+        assert_eq!(sum.rescued, 1);
     }
 }

@@ -55,6 +55,7 @@
 //! both return typed errors instead of silently diverging.
 
 use crate::preconditioner::{IdentityPreconditioner, Preconditioner};
+use crate::recovery::{audit_due, diverged, replacement_bound, RecoveryPolicy};
 use mspcg_sparse::{vecops, SparseError, SparseOp};
 
 pub use mspcg_sparse::PcgVariant;
@@ -87,6 +88,13 @@ pub struct PcgOptions {
     /// resolves the validated `MSPCG_PCG_VARIANT` environment override and
     /// falls back to [`PcgVariant::Classic`].
     pub variant: PcgVariant,
+    /// Detection/recovery policy: residual auditing with replacement, the
+    /// recovery-ladder budget, and the `MSPCG_RESIDUAL_REPLACEMENT` /
+    /// `MSPCG_AUDIT_PERIOD` override resolution. The default
+    /// ([`crate::recovery::Toggle::Auto`]) audits only the drift-prone
+    /// variants at tight tolerances; [`RecoveryPolicy::off`] pins the
+    /// exact pre-recovery arithmetic and operation schedule.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for PcgOptions {
@@ -97,6 +105,7 @@ impl Default for PcgOptions {
             criterion: StoppingCriterion::DisplacementChange,
             record_history: false,
             variant: PcgVariant::Auto,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -122,12 +131,22 @@ pub struct PcgStats {
     /// Total stationary steps inside the preconditioner
     /// (`applications × m`).
     pub precond_steps: usize,
-    /// Recurrence-breakdown fallbacks to the classic loop: a
-    /// single-reduction or pipelined attempt whose guards fired hands the
-    /// current iterate to [`PcgVariant::Classic`] and this counter
-    /// records it — the report "says `FALLBACK`" instead of hiding the
-    /// rescue.
+    /// Recovery-ladder steps: a single-reduction or pipelined attempt
+    /// whose guards fired (breakdown or detected corruption) handed the
+    /// current iterate one rung down
+    /// (Pipelined → SingleReduction → Classic) and this counter records
+    /// it — the report "says `FALLBACK`" instead of hiding the rescue.
     pub fallbacks: usize,
+    /// Residual audits performed: true-residual recomputations `f − K·u`
+    /// (one extra SpMV each) compared against the recurrence residual.
+    pub audits: usize,
+    /// Residual replacements plus non-finite recovery restarts: times the
+    /// carried vectors were re-derived from the current iterate, bounded
+    /// by [`RecoveryPolicy::max_replacements`].
+    pub replacements: usize,
+    /// Non-finite reduction scalars detected by the fused-kernel checks
+    /// (injected faults or genuine data corruption).
+    pub faults_detected: usize,
 }
 
 /// Result of a (P)CG solve.
@@ -205,6 +224,10 @@ pub struct PcgWorkspace {
     mv: Vec<f64>,
     /// `nv = K·mv` auxiliary of the pipelined variant.
     nv: Vec<f64>,
+    /// True-residual scratch of the audit pass (`aud = f − K·u`). Like
+    /// the pipelined carries it starts empty and is sized by the first
+    /// audited solve, so non-audited workspaces never pay for it.
+    aud: Vec<f64>,
     /// Preconditioner scratch (sized on first use from
     /// [`Preconditioner::scratch_len`]); lets the hot loop call
     /// [`Preconditioner::apply_with`], bypassing any internal lock.
@@ -225,6 +248,7 @@ impl PcgWorkspace {
             zz: Vec::new(),
             mv: Vec::new(),
             nv: Vec::new(),
+            aud: Vec::new(),
             precond_scratch: Vec::new(),
             history: Vec::new(),
         }
@@ -243,9 +267,13 @@ impl PcgWorkspace {
         self.p.resize(n, 0.0);
         self.kp.resize(n, 0.0);
         self.w.resize(n, 0.0);
-        // Pipelined-only slots track the dimension only once in use.
+        // Pipelined-only and audit-only slots track the dimension only
+        // once in use.
         if !self.q.is_empty() {
             self.ensure_pipelined(n);
+        }
+        if !self.aud.is_empty() {
+            self.ensure_audit(n);
         }
     }
 
@@ -257,6 +285,12 @@ impl PcgWorkspace {
         self.zz.resize(n, 0.0);
         self.mv.resize(n, 0.0);
         self.nv.resize(n, 0.0);
+    }
+
+    /// Size the audit scratch vector. Called by the first audited solve
+    /// on this workspace (allocates once); afterwards a no-op.
+    fn ensure_audit(&mut self, n: usize) {
+        self.aud.resize(n, 0.0);
     }
 
     /// Preallocate the history record so that solves with
@@ -420,6 +454,24 @@ pub fn pcg_try_solve_into<A: SparseOp>(
             right: (f.len(), u.len().max(m.dim())),
         });
     }
+    if !(opts.tol.is_finite() && opts.tol > 0.0) {
+        return Err(SparseError::InvalidTolerance { value: opts.tol });
+    }
+    // Reject non-finite inputs up front: a NaN anywhere in `f` or `u⁰`
+    // poisons every subsequent reduction, so without this check the solve
+    // would iterate on garbage until the budget runs out.
+    if f.iter().any(|v| !v.is_finite()) {
+        return Err(SparseError::NonFinite {
+            phase: "rhs",
+            iteration: 0,
+        });
+    }
+    if u.iter().any(|v| !v.is_finite()) {
+        return Err(SparseError::NonFinite {
+            phase: "initial-guess",
+            iteration: 0,
+        });
+    }
     if ws.dim() != n {
         ws.resize(n);
     }
@@ -445,37 +497,123 @@ pub fn pcg_try_solve_into<A: SparseOp>(
         });
     }
 
-    match opts.variant.resolve() {
-        PcgVariant::SingleReduction => {
-            match single_reduction_loop(k, f, u, m, opts, ws, &mut stats, f_norm)? {
-                SrFlow::Done(report) => Ok(report),
-                SrFlow::Fallback { completed, change } => {
-                    // Recurrence breakdown: restart the classic loop from
-                    // the current iterate (it re-derives r, z, p from u),
-                    // charging the iterations already performed and
-                    // carrying the last measured ‖Δu‖∞ so a breakdown on
-                    // the final budgeted iteration still reports it.
-                    stats.fallbacks += 1;
-                    classic_loop(k, f, u, m, opts, ws, &mut stats, f_norm, completed, change)
-                }
-            }
-        }
-        PcgVariant::Pipelined => {
-            ws.ensure_pipelined(n);
-            match pipelined_loop(k, f, u, m, opts, ws, &mut stats, f_norm)? {
-                SrFlow::Done(report) => Ok(report),
-                SrFlow::Fallback { completed, change } => {
-                    // Same rescue as the single-reduction variant: the
-                    // pipelined carries (z, w and the mv/nv auxiliaries)
-                    // have drifted past trust, so the classic loop
-                    // re-derives everything from the current iterate.
-                    stats.fallbacks += 1;
-                    classic_loop(k, f, u, m, opts, ws, &mut stats, f_norm, completed, change)
-                }
-            }
-        }
-        _ => classic_loop(k, f, u, m, opts, ws, &mut stats, f_norm, 0, f64::INFINITY),
+    // The audit decision is resolved ONCE from the *requested* (resolved)
+    // variant and the tolerance, so ladder reruns — including the classic
+    // bottom rung — inherit the same auditing the drift-prone variant
+    // opted into.
+    let resolved = opts.variant.resolve();
+    let audit = AuditPlan::resolve(&opts.recovery, resolved, opts.tol, f_norm);
+    if audit.enabled {
+        ws.ensure_audit(n);
     }
+
+    // The recovery ladder. Each rung starts from the iterate currently in
+    // `u` (re-deriving its carries), charging the iterations already
+    // performed against the shared budget:
+    // * `Done` — the rung produced a final report;
+    // * `Fallback` — breakdown or detected corruption: step DOWN one rung
+    //   (Pipelined → SingleReduction → Classic; classic recovers in
+    //   place);
+    // * `Replace` — audit divergence: re-enter the SAME rung warm (the
+    //   re-derivation from `u` *is* the residual replacement), bounded by
+    //   the `max_replacements` budget checked at the emit site.
+    // Termination: `Replace` strictly advances `start` (audit schedule),
+    // `Fallback` strictly descends, and classic terminates on its own.
+    let mut rung = resolved;
+    let mut start = 0usize;
+    let mut change = f64::INFINITY;
+    loop {
+        let flow = match rung {
+            PcgVariant::SingleReduction => single_reduction_loop(
+                k, f, u, m, opts, ws, &mut stats, f_norm, &audit, start, change,
+            )?,
+            PcgVariant::Pipelined => {
+                ws.ensure_pipelined(n);
+                pipelined_loop(
+                    k, f, u, m, opts, ws, &mut stats, f_norm, &audit, start, change,
+                )?
+            }
+            _ => {
+                return classic_loop(
+                    k, f, u, m, opts, ws, &mut stats, f_norm, &audit, start, change,
+                )
+            }
+        };
+        match flow {
+            SrFlow::Done(report) => return Ok(report),
+            SrFlow::Fallback {
+                completed,
+                change: c,
+            } => {
+                stats.fallbacks += 1;
+                rung = if rung == PcgVariant::Pipelined {
+                    PcgVariant::SingleReduction
+                } else {
+                    PcgVariant::Classic
+                };
+                start = completed;
+                change = c;
+            }
+            SrFlow::Replace {
+                completed,
+                change: c,
+            } => {
+                stats.replacements += 1;
+                start = completed;
+                change = c;
+            }
+        }
+    }
+}
+
+/// Resolved audit configuration for one solve (policy × variant ×
+/// tolerance × ‖f‖₂), fixed before the ladder runs so every rung sees the
+/// same decision.
+struct AuditPlan {
+    enabled: bool,
+    period: usize,
+    /// Squared replacement bound: comparing `‖r_true − r‖₂²` against it
+    /// avoids a square root, and [`diverged`] reads a NaN deviation
+    /// (poisoned residual) as divergent.
+    bound2: f64,
+    max_replacements: usize,
+}
+
+impl AuditPlan {
+    fn resolve(policy: &RecoveryPolicy, variant: PcgVariant, tol: f64, f_norm: f64) -> Self {
+        let bound = replacement_bound(tol, f_norm);
+        AuditPlan {
+            enabled: policy.audit_enabled(variant, tol),
+            period: policy.period(),
+            bound2: bound * bound,
+            max_replacements: policy.max_replacements,
+        }
+    }
+}
+
+/// One audit: recompute the true residual `f − K·u` into `aud` and return
+/// its squared deviation from the recurrence residual `r`. The sum of
+/// squares propagates NaN (unlike a max-based norm, which swallows it),
+/// so a poisoned recurrence residual always reads as divergent.
+fn audit_deviation2<A: SparseOp>(
+    k: &A,
+    f: &[f64],
+    u: &[f64],
+    r: &[f64],
+    aud: &mut [f64],
+    stats: &mut PcgStats,
+) -> f64 {
+    stats.audits += 1;
+    vecops::copy(f, aud);
+    k.mul_vec_axpy(-1.0, u, aud);
+    stats.spmv += 1;
+    aud.iter()
+        .zip(r.iter())
+        .map(|(t, ri)| {
+            let d = t - ri;
+            d * d
+        })
+        .sum()
 }
 
 /// Shared no-stopping-test exit: recompute the TRUE residual `f − K·u`
@@ -507,13 +645,14 @@ fn exit_report<A: SparseOp>(
     }
 }
 
-/// The classic Algorithm 1 loop (two serialized inner products per
-/// iteration), starting from the iterate already in `u`. `start_iter`
-/// iterations have been charged against the budget by a preceding
-/// single-reduction attempt (0 for a direct classic solve);
-/// `initial_change` is that attempt's last measured ‖Δu‖∞ (infinity for a
-/// direct solve), reported if the loop body never runs — a breakdown on
-/// the final budgeted iteration must not erase the measured step size.
+/// The classic rung driver: run [`classic_pass`] until it produces a
+/// final report, re-entering it on every in-place recovery restart (audit
+/// replacement or budgeted non-finite recovery). The classic loop is the
+/// ladder's bottom rung, so it recovers by restarting *itself* from the
+/// current iterate — each pass re-derives `r`, `r̂`, `p` from `u`, which
+/// is exactly the residual-replacement transformation. Termination: audit
+/// restarts strictly advance `start` ([`audit_due`]) and non-finite
+/// restarts spend the `max_replacements` budget.
 #[allow(clippy::too_many_arguments)]
 fn classic_loop<A: SparseOp>(
     k: &A,
@@ -524,14 +663,93 @@ fn classic_loop<A: SparseOp>(
     ws: &mut PcgWorkspace,
     stats: &mut PcgStats,
     f_norm: f64,
+    audit: &AuditPlan,
     start_iter: usize,
     initial_change: f64,
 ) -> Result<PcgReport, SparseError> {
+    let mut start = start_iter;
+    let mut change = initial_change;
+    loop {
+        match classic_pass(k, f, u, m, opts, ws, stats, f_norm, audit, start, change)? {
+            ClassicFlow::Done(report) => return Ok(report),
+            ClassicFlow::Restart {
+                completed,
+                change: c,
+            } => {
+                start = completed;
+                change = c;
+            }
+        }
+    }
+}
+
+/// Control flow of one classic pass.
+enum ClassicFlow {
+    /// The pass produced a final report.
+    Done(PcgReport),
+    /// In-place recovery after `completed` iterations: re-enter the pass
+    /// from the iterate in `u` (already counted against the replacement
+    /// budget at the emit site).
+    Restart { completed: usize, change: f64 },
+}
+
+/// Shared non-finite handling of the classic pass: count the detection,
+/// then recover in place while the replacement budget lasts, surfacing
+/// the typed error once it is spent.
+fn nonfinite_flow(
+    stats: &mut PcgStats,
+    audit: &AuditPlan,
+    phase: &'static str,
+    iteration: usize,
+    completed: usize,
+    change: f64,
+) -> Result<ClassicFlow, SparseError> {
+    stats.faults_detected += 1;
+    if stats.replacements < audit.max_replacements {
+        stats.replacements += 1;
+        Ok(ClassicFlow::Restart { completed, change })
+    } else {
+        Err(SparseError::NonFinite { phase, iteration })
+    }
+}
+
+/// The classic Algorithm 1 loop (two serialized inner products per
+/// iteration), starting from the iterate already in `u`. `start_iter`
+/// iterations have been charged against the budget by a preceding
+/// ladder rung or restart (0 for a direct classic solve);
+/// `initial_change` is that attempt's last measured ‖Δu‖∞ (infinity for a
+/// direct solve), reported if the loop body never runs — a breakdown on
+/// the final budgeted iteration must not erase the measured step size.
+///
+/// Non-finite reduction scalars (a NaN/Inf out of a corrupted SpMV or
+/// preconditioner application) are detected on the scalars *before* they
+/// feed `α`/`β` — the iterate is still finite at every detection point,
+/// so the in-place restart recovers from it (see [`nonfinite_flow`]).
+/// When auditing is enabled, every [`AuditPlan::period`] iterations the
+/// true residual is compared against the recurrence residual and
+/// divergence beyond the bound triggers the same restart (which *is* the
+/// replacement: the pass re-derives `r` from `u`). With auditing off and
+/// finite scalars, the arithmetic is bit-for-bit the pre-recovery loop.
+#[allow(clippy::too_many_arguments)]
+fn classic_pass<A: SparseOp>(
+    k: &A,
+    f: &[f64],
+    u: &mut [f64],
+    m: &impl Preconditioner,
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+    stats: &mut PcgStats,
+    f_norm: f64,
+    audit: &AuditPlan,
+    start_iter: usize,
+    initial_change: f64,
+) -> Result<ClassicFlow, SparseError> {
     let PcgWorkspace {
         r,
         rhat,
         p,
         kp,
+        aud,
         precond_scratch,
         history,
         ..
@@ -551,6 +769,18 @@ fn classic_loop<A: SparseOp>(
     let mut rz = vecops::fused_xpby_dot(rhat, 0.0, p, r);
     stats.inner_products += 1;
     stats.reduction_phases += 1;
+    if !rz.is_finite() {
+        // A corrupted initial msolve (possible on a restart whose own
+        // re-derivation hits the fault): recover before iterating.
+        return nonfinite_flow(
+            stats,
+            audit,
+            "msolve-reduction",
+            start_iter,
+            start_iter,
+            initial_change,
+        );
+    }
     if rz < 0.0 {
         return Err(SparseError::NotPositiveDefinite {
             pivot: start_iter,
@@ -561,11 +791,36 @@ fn classic_loop<A: SparseOp>(
     let mut change = initial_change;
     let mut completed = start_iter;
     for iter in start_iter + 1..=opts.max_iterations {
+        // Residual audit: compare the recurrence residual against the
+        // freshly recomputed true residual (state after iteration
+        // `iter − 1`). Skipped once the replacement budget is spent — an
+        // audit that cannot act would only burn an SpMV.
+        if audit.enabled
+            && audit_due(iter, start_iter, audit.period)
+            && stats.replacements < audit.max_replacements
+        {
+            let dev2 = audit_deviation2(k, f, u, r, aud, stats);
+            if diverged(dev2, audit.bound2) {
+                stats.replacements += 1;
+                return Ok(ClassicFlow::Restart {
+                    completed: iter - 1,
+                    change,
+                });
+            }
+        }
+
         k.mul_vec_into(p, kp);
         stats.spmv += 1;
         let denom = vecops::dot(p, kp);
         stats.inner_products += 1;
         stats.reduction_phases += 1;
+        if !denom.is_finite() {
+            // Checked before the sign guard: NaN fails `<= 0.0` and would
+            // otherwise flow straight into α. `u` has not been touched
+            // this iteration, so the restart recovers from a clean
+            // iterate.
+            return nonfinite_flow(stats, audit, "spmv-reduction", iter, iter - 1, change);
+        }
         if denom <= 0.0 {
             if rz == 0.0 {
                 // Exact convergence in fewer than n steps: residual is 0.
@@ -583,6 +838,15 @@ fn classic_loop<A: SparseOp>(
         let norms = vecops::fused_axpy_axpy_norm(alpha, p, kp, u, r);
         // ‖u^{k+1} − uᵏ‖∞ = |α|·‖p‖∞ — no extra vector needed.
         change = alpha.abs() * norms.p_norm_inf;
+        if !norms.all_finite() {
+            // An Inf slipped past the finite dot (cancelation in the
+            // reduction): `r` is poisoned but `u` was updated with the
+            // already-validated α and a finite `p`, so the restart's
+            // `r = f − K·u` re-derivation recovers. (A NaN in `r` hides
+            // from the max-based norm and is caught one step later by the
+            // msolve-reduction scalar.)
+            return nonfinite_flow(stats, audit, "update", iter, iter, change);
+        }
 
         let crit_value = match opts.criterion {
             StoppingCriterion::DisplacementChange => change,
@@ -596,13 +860,13 @@ fn classic_loop<A: SparseOp>(
         }
         if crit_value < opts.tol {
             let final_rel = vecops::norm2_with_max(r, norms.r_norm_inf) / f_norm.max(1e-300);
-            return Ok(PcgReport {
+            return Ok(ClassicFlow::Done(PcgReport {
                 iterations: iter,
                 converged: true,
                 final_change: change,
                 final_relative_residual: final_rel,
                 stats: *stats,
-            });
+            }));
         }
 
         m.apply_with(r, rhat, precond_scratch);
@@ -611,6 +875,12 @@ fn classic_loop<A: SparseOp>(
         let rz_new = vecops::dot(rhat, r);
         stats.inner_products += 1;
         stats.reduction_phases += 1;
+        if !rz_new.is_finite() {
+            // NaN/Inf out of the preconditioner (or a NaN residual the
+            // max-norm swallowed above): detected on the scalar before β
+            // is formed, while `u` is still finite.
+            return nonfinite_flow(stats, audit, "msolve-reduction", iter, iter, change);
+        }
         if rz_new < 0.0 {
             return Err(SparseError::NotPositiveDefinite {
                 pivot: iter,
@@ -636,20 +906,25 @@ fn classic_loop<A: SparseOp>(
     } else {
         opts.max_iterations
     };
-    Ok(exit_report(
+    Ok(ClassicFlow::Done(exit_report(
         k, f, u, r, stats, f_norm, iterations, converged, change,
-    ))
+    )))
 }
 
-/// Control flow of a single-reduction attempt.
+/// Control flow of a single-reduction or pipelined attempt.
 enum SrFlow {
     /// The attempt produced a final report (converged, exact breakdown,
     /// or budget exhaustion).
     Done(PcgReport),
-    /// Recurrence breakdown after `completed` iterations: the caller must
-    /// continue with the classic loop from the iterate in `u`, carrying
-    /// the last measured ‖Δu‖∞ for reporting.
+    /// Recurrence breakdown or detected corruption after `completed`
+    /// iterations: the ladder must step DOWN one rung from the iterate in
+    /// `u`, carrying the last measured ‖Δu‖∞ for reporting.
     Fallback { completed: usize, change: f64 },
+    /// Audit divergence after `completed` iterations: the ladder must
+    /// re-enter the SAME rung warm — the rung's re-initialization from
+    /// `u` recomputes `r = f − K·u` and re-derives every carry and CG
+    /// scalar from it, which is precisely the residual replacement.
+    Replace { completed: usize, change: f64 },
 }
 
 /// The single-reduction (Chronopoulos–Gear) loop: carry `s = Kp` (in the
@@ -678,6 +953,9 @@ fn single_reduction_loop<A: SparseOp>(
     ws: &mut PcgWorkspace,
     stats: &mut PcgStats,
     f_norm: f64,
+    audit: &AuditPlan,
+    start_iter: usize,
+    initial_change: f64,
 ) -> Result<SrFlow, SparseError> {
     let PcgWorkspace {
         r,
@@ -685,6 +963,7 @@ fn single_reduction_loop<A: SparseOp>(
         p,
         kp: s,
         w,
+        aud,
         precond_scratch,
         history,
         ..
@@ -705,9 +984,19 @@ fn single_reduction_loop<A: SparseOp>(
     let delta = vecops::dot(w, rhat);
     stats.inner_products += 2;
     stats.reduction_phases += 1;
+    if !(gamma.is_finite() && delta.is_finite()) {
+        // Corrupted initialization (the fault hit the re-derivation
+        // itself): step down — the classic rung's budgeted in-place
+        // restarts absorb even a persistent fault.
+        stats.faults_detected += 1;
+        return Ok(SrFlow::Fallback {
+            completed: start_iter,
+            change: initial_change,
+        });
+    }
     if gamma < 0.0 {
         return Err(SparseError::NotPositiveDefinite {
-            pivot: 0,
+            pivot: start_iter,
             value: gamma,
         });
     }
@@ -721,9 +1010,9 @@ fn single_reduction_loop<A: SparseOp>(
             r,
             stats,
             f_norm,
-            0,
+            start_iter,
             true,
-            f64::INFINITY,
+            initial_change,
         )));
     }
     if delta <= 0.0 {
@@ -731,15 +1020,31 @@ fn single_reduction_loop<A: SparseOp>(
         // start iterate to the classic loop, whose own probes produce the
         // canonical typed error.
         return Ok(SrFlow::Fallback {
-            completed: 0,
-            change: f64::INFINITY,
+            completed: start_iter,
+            change: initial_change,
         });
     }
     let mut alpha = gamma / delta;
     let mut beta = 0.0f64;
-    let mut change = f64::INFINITY;
+    let mut change = initial_change;
 
-    for iter in 1..=opts.max_iterations {
+    for iter in start_iter + 1..=opts.max_iterations {
+        // Residual audit on the recurrence residual (state after
+        // iteration `iter − 1`); divergence re-enters this rung warm,
+        // which re-derives every carry from the true residual.
+        if audit.enabled
+            && audit_due(iter, start_iter, audit.period)
+            && stats.replacements < audit.max_replacements
+        {
+            let dev2 = audit_deviation2(k, f, u, r, aud, stats);
+            if diverged(dev2, audit.bound2) {
+                return Ok(SrFlow::Replace {
+                    completed: iter - 1,
+                    change,
+                });
+            }
+        }
+
         // p ← z + βp and s ← w + βs in one sweep (β = 0 makes both exact
         // copies: the initialization path).
         vecops::fused_xpby_xpby(rhat, w, beta, p, s);
@@ -773,6 +1078,19 @@ fn single_reduction_loop<A: SparseOp>(
         let d3 = vecops::fused_dot3_norm(r, rhat, w, p, s, norms.r_norm_inf);
         stats.inner_products += 3;
         stats.reduction_phases += 1;
+
+        // Non-finite detection on the fused scalars, BEFORE any of them
+        // is consumed: a NaN/Inf anywhere in r/z/w/p/s poisons at least
+        // one dot product, while `u` — updated with the previous
+        // iteration's validated α — is still finite, so the next rung
+        // recovers from it.
+        if !d3.all_finite() {
+            stats.faults_detected += 1;
+            return Ok(SrFlow::Fallback {
+                completed: iter,
+                change,
+            });
+        }
 
         if opts.criterion == StoppingCriterion::RelativeResidual {
             let rel = d3.r_norm2 / f_norm.max(1e-300);
@@ -879,6 +1197,9 @@ fn pipelined_loop<A: SparseOp>(
     ws: &mut PcgWorkspace,
     stats: &mut PcgStats,
     f_norm: f64,
+    audit: &AuditPlan,
+    start_iter: usize,
+    initial_change: f64,
 ) -> Result<SrFlow, SparseError> {
     let PcgWorkspace {
         r,
@@ -890,6 +1211,7 @@ fn pipelined_loop<A: SparseOp>(
         zz,
         mv,
         nv,
+        aud,
         precond_scratch,
         history,
     } = ws;
@@ -909,10 +1231,18 @@ fn pipelined_loop<A: SparseOp>(
     let delta = vecops::dot(w, z);
     stats.inner_products += 2;
     stats.reduction_phases += 1;
+    if !(gamma.is_finite() && delta.is_finite()) {
+        // Corrupted initialization: step down the ladder.
+        stats.faults_detected += 1;
+        return Ok(SrFlow::Fallback {
+            completed: start_iter,
+            change: initial_change,
+        });
+    }
     if gamma < 0.0 {
         // Freshly computed quadratic form (no drift yet): indefinite M.
         return Err(SparseError::NotPositiveDefinite {
-            pivot: 0,
+            pivot: start_iter,
             value: gamma,
         });
     }
@@ -924,17 +1254,18 @@ fn pipelined_loop<A: SparseOp>(
             r,
             stats,
             f_norm,
-            0,
+            start_iter,
             true,
-            f64::INFINITY,
+            initial_change,
         )));
     }
     if delta <= 0.0 {
-        // (z, Kz) ≤ 0 with z ≠ 0: hand the start iterate to the classic
-        // loop, whose own probes produce the canonical typed error.
+        // (z, Kz) ≤ 0 with z ≠ 0: hand the start iterate down the
+        // ladder; the classic rung's probes produce the canonical typed
+        // error if the system really is indefinite.
         return Ok(SrFlow::Fallback {
-            completed: 0,
-            change: f64::INFINITY,
+            completed: start_iter,
+            change: initial_change,
         });
     }
     // mv⁰ = M⁻¹ w⁰;  nv⁰ = K mv⁰ — the first overlapped heavy phase.
@@ -945,9 +1276,25 @@ fn pipelined_loop<A: SparseOp>(
     stats.spmv += 1;
     let mut alpha = gamma / delta;
     let mut beta = 0.0f64;
-    let mut change = f64::INFINITY;
+    let mut change = initial_change;
 
-    for iter in 1..=opts.max_iterations {
+    for iter in start_iter + 1..=opts.max_iterations {
+        // Residual audit (state after iteration `iter − 1`, before this
+        // iteration's carries move): divergence re-enters this rung warm,
+        // re-deriving all six carries from the true residual.
+        if audit.enabled
+            && audit_due(iter, start_iter, audit.period)
+            && stats.replacements < audit.max_replacements
+        {
+            let dev2 = audit_deviation2(k, f, u, r, aud, stats);
+            if diverged(dev2, audit.bound2) {
+                return Ok(SrFlow::Replace {
+                    completed: iter - 1,
+                    change,
+                });
+            }
+        }
+
         // The four direction carries, then the four iterate/carry updates,
         // in four fused sweeps (β = 0 makes the direction carries exact
         // copies: the initialization path).
@@ -977,6 +1324,19 @@ fn pipelined_loop<A: SparseOp>(
         let d3 = vecops::fused_dot3_norm(r, z, w, p, s, norms.r_norm_inf);
         stats.inner_products += 3;
         stats.reduction_phases += 1;
+
+        // Non-finite detection on the fused scalars before any is
+        // consumed. A fault in the overlapped heavy phase (mv/nv) lands
+        // here one iteration later — after it has flowed through q/zz
+        // into z/w — but still before `u` is touched by a poisoned α, so
+        // the next rung recovers from a finite iterate.
+        if !d3.all_finite() {
+            stats.faults_detected += 1;
+            return Ok(SrFlow::Fallback {
+                completed: iter,
+                change,
+            });
+        }
 
         if opts.criterion == StoppingCriterion::RelativeResidual {
             let rel = d3.r_norm2 / f_norm.max(1e-300);
@@ -1597,10 +1957,12 @@ mod tests {
             let pl = pcg_solve(&a, &b, &pre, &variant_opts(PcgVariant::Pipelined, 1e-8)).unwrap();
             assert!(classic.converged && pl.converged);
             // At essential convergence the carried γ′ can dip nonpositive
-            // and trip the guard — the designed breakdown path, which the
-            // classic continuation finishes in a step or two. More than
-            // one fallback would mean the guards thrash.
-            assert!(pl.stats.fallbacks <= 1, "m = {m}: guards thrash");
+            // and trip the guard — the designed breakdown path. The
+            // ladder steps Pipelined → SingleReduction → Classic, and the
+            // single-reduction rung can itself break down near
+            // convergence, so up to two steps are legitimate; more would
+            // mean the guards thrash.
+            assert!(pl.stats.fallbacks <= 2, "m = {m}: guards thrash");
             // The pipelined recurrences drift more than the single-
             // reduction ones; the Krylov space is still the same.
             assert!(
@@ -1744,15 +2106,227 @@ mod tests {
         for (x, y) in sol.x.iter().zip(&x_true) {
             assert!((x - y).abs() < 1e-6);
         }
-        // The report says FALLBACK…
-        assert_eq!(sol.stats.fallbacks, 1);
-        // …and the classic continuation ran from the current iterate: its
-        // two serialized phases per iteration dominate the counter.
+        // The report says FALLBACK. The ladder now steps through the
+        // single-reduction rung first; it usually finishes the rescue
+        // itself (one step), but may break down near convergence and hand
+        // off to classic (two).
+        assert!(
+            (1..=2).contains(&sol.stats.fallbacks),
+            "fallbacks = {}",
+            sol.stats.fallbacks
+        );
+        // …and the continuation ran from the current iterate: the rescue
+        // rungs' extra phases are visible in the counter.
         assert!(
             sol.stats.reduction_phases >= sol.iterations + 2,
             "{} phases for {} iterations — fallback never ran",
             sol.stats.reduction_phases,
             sol.iterations
         );
+    }
+
+    #[test]
+    fn non_finite_inputs_and_tolerances_are_rejected_up_front() {
+        let a = laplacian(8);
+        let mut b = vec![1.0; 8];
+        b[3] = f64::NAN;
+        assert!(matches!(
+            cg_solve(&a, &b, &PcgOptions::default()),
+            Err(SparseError::NonFinite {
+                phase: "rhs",
+                iteration: 0
+            })
+        ));
+        let b = vec![1.0; 8];
+        let mut u0 = vec![0.0; 8];
+        u0[0] = f64::INFINITY;
+        let pre = IdentityPreconditioner::new(8);
+        assert!(matches!(
+            pcg_solve_from(&a, &b, &u0, &pre, &PcgOptions::default()),
+            Err(SparseError::NonFinite {
+                phase: "initial-guess",
+                iteration: 0
+            })
+        ));
+        for bad in [0.0, -1e-6, f64::NAN, f64::INFINITY] {
+            let opts = PcgOptions {
+                tol: bad,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    cg_solve(&a, &b, &opts),
+                    Err(SparseError::InvalidTolerance { .. })
+                ),
+                "tolerance {bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn classic_recovers_in_place_from_injected_nan_in_msolve() {
+        use crate::recovery::{ApplicationFault, FaultKind, FaultyPreconditioner};
+        let a = laplacian(32);
+        let x_true: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b = a.mul_vec(&x_true);
+        // NaN out of msolve application 2 (init is application 0, then
+        // one per iteration): the classic loop must detect it on the
+        // (r̂, r) scalar, restart in place, and still converge — no audit
+        // and no opt-in needed (non-finite detection is always on).
+        let pre = FaultyPreconditioner::new(
+            IdentityPreconditioner::new(32),
+            vec![ApplicationFault {
+                application: 2,
+                index: 7,
+                kind: FaultKind::NaN,
+            }],
+        );
+        let opts = PcgOptions {
+            tol: 1e-10,
+            criterion: StoppingCriterion::RelativeResidual,
+            variant: PcgVariant::Classic,
+            // Pin the exact counters below against environment overrides
+            // (MSPCG_RESIDUAL_REPLACEMENT=1 would add audits).
+            recovery: crate::recovery::RecoveryPolicy::off(),
+            ..Default::default()
+        };
+        let sol = pcg_solve(&a, &b, &pre, &opts).unwrap();
+        assert!(sol.converged);
+        assert!(sol.final_relative_residual < 1e-10);
+        assert_eq!(pre.injected(), 1);
+        // Exact counters: one detection, one in-place recovery, no ladder
+        // step, no audits (auditing pinned off).
+        assert_eq!(sol.stats.faults_detected, 1);
+        assert_eq!(sol.stats.replacements, 1);
+        assert_eq!(sol.stats.fallbacks, 0);
+        assert_eq!(sol.stats.audits, 0);
+        for (x, y) in sol.x.iter().zip(&x_true) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn exhausted_replacement_budget_surfaces_typed_nonfinite_error() {
+        use crate::recovery::{ApplicationFault, FaultKind, FaultyPreconditioner, RecoveryPolicy};
+        let a = laplacian(16);
+        let b = vec![1.0; 16];
+        let pre = FaultyPreconditioner::new(
+            IdentityPreconditioner::new(16),
+            vec![ApplicationFault {
+                application: 1,
+                index: 0,
+                kind: FaultKind::NaN,
+            }],
+        );
+        let opts = PcgOptions {
+            variant: PcgVariant::Classic,
+            recovery: RecoveryPolicy {
+                max_replacements: 0,
+                ..RecoveryPolicy::off()
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            pcg_solve(&a, &b, &pre, &opts),
+            Err(SparseError::NonFinite {
+                phase: "msolve-reduction",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn audit_catches_silent_spmv_corruption_and_replaces() {
+        use crate::recovery::{ApplicationFault, FaultKind, FaultyOp, RecoveryPolicy};
+        let a = laplacian(64);
+        let x_true: Vec<f64> = (0..64).map(|i| (i as f64 * 0.13).cos()).collect();
+        let b = SparseOp::mul_vec(&a, &x_true);
+        // A moderate, FINITE corruption of one SpMV output: in the
+        // single-reduction recurrence the poisoned w flows into the `s`
+        // carry at the next direction update, after which `r −= αs` and
+        // `u += αp` use INCONSISTENT vectors — the recurrence residual
+        // silently drifts from `f − K·u`. The perturbation is kept small
+        // enough that every reduction scalar stays finite and plausible
+        // (a huge one would trip the breakdown guards instead), so only
+        // the audit can catch it.
+        let op = FaultyOp::new(
+            a.clone(),
+            vec![ApplicationFault {
+                application: 4,
+                index: 20,
+                kind: FaultKind::ScaledNoise(0.01),
+            }],
+        );
+        let opts = PcgOptions {
+            tol: 1e-10,
+            criterion: StoppingCriterion::RelativeResidual,
+            variant: PcgVariant::SingleReduction,
+            recovery: RecoveryPolicy {
+                audit_period: 4,
+                ..RecoveryPolicy::on()
+            },
+            ..Default::default()
+        };
+        let sol = pcg_solve(&op, &b, &IdentityPreconditioner::new(64), &opts).unwrap();
+        assert!(sol.converged, "replacement did not rescue the solve");
+        assert_eq!(op.injected(), 1);
+        assert!(sol.stats.audits >= 1, "no audit ran");
+        assert!(
+            sol.stats.replacements >= 1,
+            "drift was never replaced: iters = {}, stats = {:?}",
+            sol.iterations,
+            sol.stats
+        );
+        assert_eq!(sol.stats.faults_detected, 0, "corruption was finite");
+        // Converged to the TRUE residual tolerance: verify from scratch
+        // against the clean matrix.
+        let mut rt = b.clone();
+        SparseOp::mul_vec_axpy(&a, -1.0, &sol.x, &mut rt);
+        let rel = vecops::norm2(&rt) / vecops::norm2(&b);
+        assert!(rel < 1e-9, "true relative residual {rel:e}");
+    }
+
+    #[test]
+    fn clean_audited_solve_replays_bitwise_and_counts_audits_exactly() {
+        use crate::recovery::RecoveryPolicy;
+        let (a, p) = rb(64);
+        let pre = MStepSsorPreconditioner::unparametrized(&a, &p, 2).unwrap();
+        let b: Vec<f64> = (0..64).map(|i| ((i * 5 + 1) % 19) as f64 - 9.0).collect();
+        let opts = PcgOptions {
+            tol: 1e-10,
+            variant: PcgVariant::SingleReduction,
+            recovery: RecoveryPolicy {
+                audit_period: 3,
+                ..RecoveryPolicy::on()
+            },
+            ..Default::default()
+        };
+        let mut ws = PcgWorkspace::new(64);
+        let mut u1 = vec![0.0; 64];
+        let rep1 = pcg_solve_into(&a, &b, &mut u1, &pre, &opts, &mut ws).unwrap();
+        let mut u2 = vec![0.0; 64];
+        let rep2 = pcg_solve_into(&a, &b, &mut u2, &pre, &opts, &mut ws).unwrap();
+        assert_eq!(u1, u2);
+        assert_eq!(rep1.stats, rep2.stats);
+        // Clean solve: audits fire on schedule (iterations 4, 7, 10, …)
+        // but never replace.
+        let expected_audits = if rep1.iterations > 3 {
+            (rep1.iterations - 1) / 3
+        } else {
+            0
+        };
+        assert_eq!(rep1.stats.audits, expected_audits);
+        assert_eq!(rep1.stats.replacements, 0);
+        assert_eq!(rep1.stats.faults_detected, 0);
+        // And the audited solution equals the unaudited one bitwise: a
+        // non-replacing audit must not perturb the iteration.
+        let plain = PcgOptions {
+            recovery: RecoveryPolicy::off(),
+            ..opts
+        };
+        let mut u3 = vec![0.0; 64];
+        let rep3 = pcg_solve_into(&a, &b, &mut u3, &pre, &plain, &mut ws).unwrap();
+        assert_eq!(u1, u3);
+        assert_eq!(rep3.stats.audits, 0);
     }
 }

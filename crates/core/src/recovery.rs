@@ -1,0 +1,621 @@
+//! Fault injection, residual auditing and the structured recovery ladder.
+//!
+//! The communication-avoiding variants (PRs 4–5) buy their barrier cuts by
+//! *carrying* recurrence vectors that drift away from the true residual
+//! `f − Ku`; a silent data corruption (a flipped bit in an SpMV output, a
+//! NaN out of a preconditioner application) is the same failure mode in
+//! concentrated form. This module supplies the three robustness layers the
+//! solver stack threads through every entry point:
+//!
+//! 1. **Fault injection** — [`FaultyOp`] / [`FaultyPreconditioner`] wrap
+//!    any operator/preconditioner and perturb chosen *applications*
+//!    deterministically ([`FaultKind`]: bit flips, NaN/Inf, scaled noise),
+//!    and [`FaultPlan`] describes iteration-indexed faults for the SPMD
+//!    solver (whose sweep table never calls back into the operator). Every
+//!    detection and recovery path below is exercised under injection by
+//!    `tests/fault_injection.rs` instead of being trusted.
+//! 2. **Residual audit + replacement** — every [`RecoveryPolicy::period`]
+//!    iterations the solver recomputes the true residual, compares it with
+//!    the recurrence residual, and on divergence beyond
+//!    [`replacement_bound`] replaces the carried vectors from the true
+//!    residual and re-derives the CG scalars (van der Vorst/Ye-style
+//!    residual replacement). Enabled by policy: explicitly, through the
+//!    validated `MSPCG_RESIDUAL_REPLACEMENT` override, or automatically
+//!    for the drift-prone variants at tight tolerances ([`TIGHT_TOL`]).
+//! 3. **Recovery ladder** — instead of the old single classic-fallback
+//!    shot, breakdown and detected corruption step down
+//!    Pipelined → SingleReduction → Classic, each rung re-deriving its
+//!    carries from the current iterate (serial) or rerunning the schedule
+//!    (SPMD); non-finite reduction scalars surface as
+//!    [`SparseError::NonFinite`] only once the replacement budget is
+//!    exhausted.
+//!
+//! Everything is *measured*: audits, replacements, ladder steps and
+//! detected/injected faults are counted in `PcgStats` and
+//! `ParallelSolveReport`, exactly like the barrier/reduction counters.
+
+use crate::preconditioner::Preconditioner;
+use mspcg_sparse::tuning::{self, PcgVariant};
+use mspcg_sparse::SparseOp;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tolerances at or below this are "tight": the recurrence drift of the
+/// single-reduction and pipelined variants can plausibly exceed the
+/// stopping threshold, so [`RecoveryPolicy::Auto`](Toggle::Auto) enables
+/// auditing for them without being asked.
+pub const TIGHT_TOL: f64 = 1e-11;
+
+/// Default replacement budget: enough for persistent-fault scenarios
+/// (a fault re-injected on every rerun of a ladder rung) while still
+/// bounding a pathological always-corrupting operator.
+pub const DEFAULT_MAX_REPLACEMENTS: usize = 32;
+
+/// Three-state switch following the `PcgVariant::Auto` convention: the
+/// explicit states win, `Auto` resolves the environment override and then
+/// a heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Toggle {
+    /// Resolve at solve time: the `MSPCG_RESIDUAL_REPLACEMENT` override if
+    /// set, otherwise on only for drift-prone variants at tight tolerance.
+    #[default]
+    Auto,
+    /// Always audit (and replace on divergence).
+    On,
+    /// Never audit — the schedule-pinning choice for counter tests and
+    /// for bitwise compatibility with pre-recovery releases.
+    Off,
+}
+
+/// How a solve detects and recovers from drift and corruption. Carried in
+/// `PcgOptions::recovery` / `ParallelSolverOptions::recovery`; `Copy` and
+/// cheap so options stay plain-old-data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Residual auditing + replacement switch.
+    pub replacement: Toggle,
+    /// Iterations between audits; `0` delegates to the validated
+    /// `MSPCG_AUDIT_PERIOD` override (default
+    /// [`tuning::DEFAULT_AUDIT_PERIOD`]).
+    pub audit_period: usize,
+    /// Upper bound on replacements (audit-triggered and non-finite
+    /// recoveries) per solve; once exhausted, audit divergence is ignored
+    /// and a non-finite scalar surfaces as [`SparseError::NonFinite`].
+    ///
+    /// [`SparseError::NonFinite`]: mspcg_sparse::SparseError::NonFinite
+    pub max_replacements: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            replacement: Toggle::Auto,
+            audit_period: 0,
+            max_replacements: DEFAULT_MAX_REPLACEMENTS,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Auditing unconditionally on (period/budget at their defaults).
+    pub fn on() -> Self {
+        RecoveryPolicy {
+            replacement: Toggle::On,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Auditing unconditionally off — pins the exact barrier/reduction
+    /// schedule regardless of environment overrides.
+    pub fn off() -> Self {
+        RecoveryPolicy {
+            replacement: Toggle::Off,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Effective audit period (resolving `0` to the environment/default).
+    pub fn period(&self) -> usize {
+        if self.audit_period == 0 {
+            tuning::audit_period()
+        } else {
+            self.audit_period
+        }
+    }
+
+    /// Whether auditing is active for a solve of `variant` (already
+    /// resolved, never `Auto`) at tolerance `tol`. Explicit `On`/`Off`
+    /// win; `Auto` resolves `MSPCG_RESIDUAL_REPLACEMENT`, then enables
+    /// auditing only for the drift-prone recurrences at tight tolerance.
+    pub fn audit_enabled(&self, variant: PcgVariant, tol: f64) -> bool {
+        match self.replacement {
+            Toggle::On => true,
+            Toggle::Off => false,
+            Toggle::Auto => tuning::forced_residual_replacement().unwrap_or(
+                matches!(variant, PcgVariant::SingleReduction | PcgVariant::Pipelined)
+                    && tol <= TIGHT_TOL,
+            ),
+        }
+    }
+}
+
+/// Divergence bound of the residual audit: the recurrence residual is
+/// replaced when `‖(f − Ku) − r‖₂` exceeds this. Relative to `‖f‖₂`, an
+/// order of magnitude above the stopping tolerance (benign drift below the
+/// tolerance cannot block convergence), floored well above machine epsilon
+/// so a clean classic solve never replaces.
+pub fn replacement_bound(tol: f64, f_norm: f64) -> f64 {
+    (10.0 * tol).max(1e3 * f64::EPSILON) * f_norm
+}
+
+/// Audit schedule predicate, shared by the serial loops and the SPMD
+/// workers: at the *top* of (1-based) iteration `iter`, audit the state
+/// left by iteration `iter − 1`. `start` is the warm-start point of the
+/// current rung — requiring `iter − 1 > start` guarantees every
+/// audit-triggered restart strictly advances, so the restart loop
+/// terminates on the iteration budget alone.
+pub fn audit_due(iter: usize, start: usize, period: usize) -> bool {
+    let done = iter - 1;
+    done > start && done.is_multiple_of(period.max(1))
+}
+
+/// Audit verdict: does the squared deviation `‖aud − r‖₂²` exceed the
+/// squared [`replacement_bound`]? Written as a *negated* `<=` on purpose:
+/// a NaN deviation (corruption reached the residual itself) compares
+/// false against any bound and must count as divergence, which `dev2 >
+/// bound2` would miss.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn diverged(dev2: f64, bound2: f64) -> bool {
+    !(dev2 <= bound2)
+}
+
+/// The perturbation a fault applies to one `f64` of a kernel's output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// XOR bit `b % 64` of the IEEE-754 representation — the classic
+    /// silent-data-corruption model. High exponent bits give the large,
+    /// *finite* perturbations only the audit can catch.
+    BitFlip(u32),
+    /// Replace the value with NaN (poisons every reduction it feeds).
+    NaN,
+    /// Replace the value with +∞.
+    Inf,
+    /// Add `scale · max(|v|, 1)` — a large-but-structured analog error.
+    ScaledNoise(f64),
+}
+
+/// Apply `kind` to `v`.
+pub fn perturb(v: f64, kind: FaultKind) -> f64 {
+    match kind {
+        FaultKind::BitFlip(bit) => f64::from_bits(v.to_bits() ^ (1u64 << (bit % 64))),
+        FaultKind::NaN => f64::NAN,
+        FaultKind::Inf => f64::INFINITY,
+        FaultKind::ScaledNoise(scale) => v + scale * v.abs().max(1.0),
+    }
+}
+
+/// A fault pinned to one *application* of a wrapped kernel: the
+/// `application`-th top-level product (or preconditioner solve) since
+/// construction perturbs output element `index`. Application counting is
+/// global and deterministic — the serial solvers call the wrapped kernels
+/// in a fixed order, so a plan replays bitwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplicationFault {
+    /// 0-based application (top-level `mul_vec_into`/`mul_vec_axpy` or
+    /// `apply`/`apply_with` call) at which to inject.
+    pub application: usize,
+    /// Output element to perturb.
+    pub index: usize,
+    /// The perturbation.
+    pub kind: FaultKind,
+}
+
+/// Deterministic seeded fault set: `count` faults at xorshift-derived
+/// applications in `0..max_application` and indices in `0..n`, cycling
+/// through the perturbation kinds. Purely a convenience for randomized
+/// campaign tests — explicit [`ApplicationFault`] lists stay the precise
+/// tool.
+pub fn seeded_faults(
+    seed: u64,
+    count: usize,
+    n: usize,
+    max_application: usize,
+) -> Vec<ApplicationFault> {
+    // Odd-constant multiply is a bijection on u64, so distinct seeds give
+    // distinct streams (plain `seed | 1` would collapse even/odd pairs).
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if state == 0 {
+        state = 0x9E37_79B9_7F4A_7C15;
+    }
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let kinds = [
+        FaultKind::BitFlip(55),
+        FaultKind::NaN,
+        FaultKind::Inf,
+        FaultKind::ScaledNoise(1e6),
+    ];
+    (0..count)
+        .map(|k| ApplicationFault {
+            application: (next() as usize) % max_application.max(1),
+            index: (next() as usize) % n.max(1),
+            kind: kinds[k % kinds.len()],
+        })
+        .collect()
+}
+
+/// Shared injection bookkeeping of the two wrappers.
+#[derive(Debug)]
+struct InjectionState {
+    faults: Vec<ApplicationFault>,
+    applications: AtomicUsize,
+    injected: AtomicUsize,
+}
+
+impl InjectionState {
+    fn new(faults: Vec<ApplicationFault>) -> Self {
+        InjectionState {
+            faults,
+            applications: AtomicUsize::new(0),
+            injected: AtomicUsize::new(0),
+        }
+    }
+
+    /// Count one application and perturb `out` if a fault is due.
+    fn inject(&self, out: &mut [f64]) {
+        let app = self.applications.fetch_add(1, Ordering::Relaxed);
+        for f in &self.faults {
+            if f.application == app && f.index < out.len() {
+                out[f.index] = perturb(out[f.index], f.kind);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A [`SparseOp`] whose **top-level products** (`mul_vec_into` /
+/// `mul_vec_axpy`) inject the planned perturbations into their output
+/// *after* the clean product — the range kernels and structure hooks
+/// delegate untouched, so construction paths (splitting extraction, sweep
+/// tables) see the clean matrix and only the solver-facing applications
+/// are corrupted. Counters use atomics so the wrapper stays `Sync` like
+/// every operator.
+#[derive(Debug)]
+pub struct FaultyOp<A> {
+    inner: A,
+    state: InjectionState,
+}
+
+impl<A: SparseOp> FaultyOp<A> {
+    /// Wrap `inner` with a fault plan.
+    pub fn new(inner: A, faults: Vec<ApplicationFault>) -> Self {
+        FaultyOp {
+            inner,
+            state: InjectionState::new(faults),
+        }
+    }
+
+    /// Top-level applications counted so far.
+    pub fn applications(&self) -> usize {
+        self.state.applications.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> usize {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped (clean) operator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: SparseOp> SparseOp for FaultyOp<A> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    fn mul_vec_range_into(&self, x: &[f64], y: &mut [f64], rows: Range<usize>) {
+        self.inner.mul_vec_range_into(x, y, rows)
+    }
+
+    fn mul_vec_axpy_range(&self, a: f64, x: &[f64], y: &mut [f64], rows: Range<usize>) {
+        self.inner.mul_vec_axpy_range(a, x, y, rows)
+    }
+
+    fn visit_row(&self, i: usize, visit: &mut dyn FnMut(usize, f64)) {
+        self.inner.visit_row(i, visit)
+    }
+
+    fn chunk_rows(&self, chunk_nnz: usize, c: usize) -> Range<usize> {
+        self.inner.chunk_rows(chunk_nnz, c)
+    }
+
+    fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.mul_vec_into(x, y);
+        self.state.inject(y);
+    }
+
+    fn mul_vec_axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
+        self.inner.mul_vec_axpy(a, x, y);
+        self.state.inject(y);
+    }
+}
+
+/// A [`Preconditioner`] wrapper injecting planned perturbations into the
+/// output of chosen `apply`/`apply_with` calls — the msolve analog of
+/// [`FaultyOp`].
+#[derive(Debug)]
+pub struct FaultyPreconditioner<P> {
+    inner: P,
+    state: InjectionState,
+}
+
+impl<P: Preconditioner> FaultyPreconditioner<P> {
+    /// Wrap `inner` with a fault plan.
+    pub fn new(inner: P, faults: Vec<ApplicationFault>) -> Self {
+        FaultyPreconditioner {
+            inner,
+            state: InjectionState::new(faults),
+        }
+    }
+
+    /// Applications counted so far.
+    pub fn applications(&self) -> usize {
+        self.state.applications.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> usize {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped (clean) preconditioner.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Preconditioner> Preconditioner for FaultyPreconditioner<P> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.inner.apply(r, z);
+        self.state.inject(z);
+    }
+
+    fn steps_per_apply(&self) -> usize {
+        self.inner.steps_per_apply()
+    }
+
+    fn scratch_len(&self) -> usize {
+        self.inner.scratch_len()
+    }
+
+    fn apply_with(&self, r: &[f64], z: &mut [f64], scratch: &mut [f64]) {
+        self.inner.apply_with(r, z, scratch);
+        self.state.inject(z);
+    }
+}
+
+/// The kernel a [`FaultPlan`] fault targets inside the SPMD solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The iteration's SpMV product (`kp`, `w = Kz` or `nv = K·mv`,
+    /// depending on the schedule).
+    Spmv,
+    /// The iteration's preconditioner output (`z` or `mv`).
+    Msolve,
+}
+
+/// A fault pinned to one *iteration* of the SPMD schedule. The
+/// `ParallelMStepPcg` extracts a private sweep table at construction and
+/// never calls back into the operator, so wrapper injection cannot reach
+/// it; instead the workers consult the plan at fixed schedule points —
+/// every worker evaluates the (replicated) lookup, only the strip owning
+/// `index` writes, so injection is deterministic across thread counts.
+/// Iteration numbers are the solver's 1-based loop counter; every rerun of
+/// a ladder rung restarts the counter, so a planned fault re-fires on each
+/// rung — the persistent-fault model the classic rung's replacement
+/// machinery must (and does) absorb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationFault {
+    /// Which kernel's output to perturb.
+    pub target: FaultTarget,
+    /// 1-based iteration at which to inject.
+    pub iteration: usize,
+    /// Vector element to perturb.
+    pub index: usize,
+    /// The perturbation.
+    pub kind: FaultKind,
+}
+
+/// An iteration-indexed fault plan for the SPMD solver
+/// (`ParallelMStepPcg::solve_with_faults`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The planned faults.
+    pub faults: Vec<IterationFault>,
+}
+
+impl FaultPlan {
+    /// Plan containing the given faults.
+    pub fn new(faults: Vec<IterationFault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// The fault due at `(target, iteration)`, if any (first match wins).
+    pub fn find(&self, target: FaultTarget, iteration: usize) -> Option<&IterationFault> {
+        self.faults
+            .iter()
+            .find(|f| f.target == target && f.iteration == iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preconditioner::IdentityPreconditioner;
+    use mspcg_sparse::CooMatrix;
+
+    fn sample() -> mspcg_sparse::CsrMatrix {
+        let mut a = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            a.push(i, i, 4.0).unwrap();
+            if i + 1 < 4 {
+                a.push_sym(i, i + 1, -1.0).unwrap();
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn perturbations_are_deterministic_and_typed() {
+        let v = 1.5f64;
+        assert_eq!(
+            perturb(v, FaultKind::BitFlip(0)),
+            perturb(v, FaultKind::BitFlip(0))
+        );
+        assert_ne!(perturb(v, FaultKind::BitFlip(52)), v);
+        // Flipping the same bit twice round-trips.
+        let once = perturb(v, FaultKind::BitFlip(55));
+        assert_eq!(perturb(once, FaultKind::BitFlip(55)), v);
+        assert!(perturb(v, FaultKind::NaN).is_nan());
+        assert!(perturb(v, FaultKind::Inf).is_infinite());
+        assert_eq!(perturb(v, FaultKind::ScaledNoise(2.0)), 1.5 + 2.0 * 1.5);
+        assert_eq!(perturb(0.0, FaultKind::ScaledNoise(2.0)), 2.0);
+    }
+
+    #[test]
+    fn faulty_op_injects_only_at_planned_applications() {
+        let a = sample();
+        let clean = a.clone();
+        let op = FaultyOp::new(
+            a,
+            vec![ApplicationFault {
+                application: 1,
+                index: 2,
+                kind: FaultKind::NaN,
+            }],
+        );
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 4];
+        // Application 0: clean.
+        SparseOp::mul_vec_into(&op, &x, &mut y);
+        assert_eq!(y, SparseOp::mul_vec(&clean, &x));
+        assert_eq!(op.injected(), 0);
+        // Application 1: element 2 poisoned, the rest clean.
+        SparseOp::mul_vec_into(&op, &x, &mut y);
+        assert!(y[2].is_nan());
+        assert_eq!(y[0], SparseOp::mul_vec(&clean, &x)[0]);
+        assert_eq!(op.injected(), 1);
+        assert_eq!(op.applications(), 2);
+        // Range kernels and structure hooks stay clean (not applications).
+        let mut yr = vec![0.0; 4];
+        op.mul_vec_range_into(&x, &mut yr, 0..4);
+        assert_eq!(yr, SparseOp::mul_vec(&clean, &x));
+        assert_eq!(op.applications(), 2);
+    }
+
+    #[test]
+    fn faulty_preconditioner_counts_and_injects() {
+        let p = FaultyPreconditioner::new(
+            IdentityPreconditioner::new(3),
+            vec![ApplicationFault {
+                application: 0,
+                index: 1,
+                kind: FaultKind::ScaledNoise(10.0),
+            }],
+        );
+        let mut z = vec![0.0; 3];
+        p.apply(&[1.0, 1.0, 1.0], &mut z);
+        assert_eq!(z, vec![1.0, 11.0, 1.0]);
+        p.apply(&[1.0, 1.0, 1.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+        assert_eq!(p.injected(), 1);
+        assert_eq!(p.applications(), 2);
+    }
+
+    #[test]
+    fn policy_resolution_and_audit_schedule() {
+        // Explicit states win regardless of environment.
+        assert!(RecoveryPolicy::on().audit_enabled(PcgVariant::Classic, 1e-6));
+        assert!(!RecoveryPolicy::off().audit_enabled(PcgVariant::Pipelined, 1e-14));
+        // Auto (unless the env forces otherwise): drift-prone variants at
+        // tight tolerance only.
+        if tuning::forced_residual_replacement().is_none() {
+            let auto = RecoveryPolicy::default();
+            assert!(auto.audit_enabled(PcgVariant::Pipelined, 1e-12));
+            assert!(auto.audit_enabled(PcgVariant::SingleReduction, TIGHT_TOL));
+            assert!(!auto.audit_enabled(PcgVariant::Pipelined, 1e-8));
+            assert!(!auto.audit_enabled(PcgVariant::Classic, 1e-14));
+        }
+        // Schedule: first audit strictly after the warm-start point, then
+        // every `period` iterations.
+        assert!(!audit_due(1, 0, 4));
+        assert!(!audit_due(4, 0, 4));
+        assert!(audit_due(5, 0, 4));
+        assert!(!audit_due(6, 0, 4));
+        assert!(audit_due(9, 0, 4));
+        // A rung restarted at iteration 8 must not re-audit state 8.
+        assert!(!audit_due(9, 8, 4));
+        assert!(audit_due(13, 8, 4));
+        // Degenerate period never divides by zero.
+        assert!(audit_due(3, 1, 0));
+    }
+
+    #[test]
+    fn seeded_faults_replay() {
+        let a = seeded_faults(42, 8, 100, 50);
+        let b = seeded_faults(42, 8, 100, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|f| f.index < 100 && f.application < 50));
+        assert_ne!(seeded_faults(43, 8, 100, 50), a);
+    }
+
+    #[test]
+    fn replacement_bound_scales_with_tolerance_and_rhs() {
+        let b = replacement_bound(1e-8, 2.0);
+        assert_eq!(b, 2e-7);
+        // Floored above machine-epsilon drift for very tight tolerances.
+        assert!(replacement_bound(1e-16, 1.0) >= 1e3 * f64::EPSILON);
+    }
+
+    #[test]
+    fn fault_plan_lookup_is_by_target_and_iteration() {
+        let plan = FaultPlan::new(vec![
+            IterationFault {
+                target: FaultTarget::Spmv,
+                iteration: 3,
+                index: 5,
+                kind: FaultKind::BitFlip(55),
+            },
+            IterationFault {
+                target: FaultTarget::Msolve,
+                iteration: 2,
+                index: 1,
+                kind: FaultKind::NaN,
+            },
+        ]);
+        assert!(plan.find(FaultTarget::Spmv, 3).is_some());
+        assert!(plan.find(FaultTarget::Spmv, 2).is_none());
+        assert!(plan.find(FaultTarget::Msolve, 2).is_some());
+        assert!(plan.find(FaultTarget::Msolve, 3).is_none());
+    }
+}

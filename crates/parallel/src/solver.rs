@@ -100,6 +100,10 @@
 
 use crate::barrier::{SpinBarrier, SplitBarrier};
 use crate::shared::{slot, ScalarBank, SharedVec};
+use mspcg_core::recovery::{
+    audit_due, diverged, perturb, replacement_bound, FaultKind, FaultPlan, FaultTarget,
+    RecoveryPolicy,
+};
 use mspcg_sparse::{vecops, Partition, PcgVariant, SparseError, SparseOp};
 use std::sync::Arc;
 
@@ -117,6 +121,12 @@ pub struct ParallelSolverOptions {
     /// validated `MSPCG_PCG_VARIANT` environment override and falls back
     /// to the classic schedule.
     pub variant: PcgVariant,
+    /// Residual-audit / replacement / recovery-ladder policy. Auditing is
+    /// resolved **once** from the requested variant and tolerance, so a
+    /// ladder rerun on a lower rung inherits the decision. Use
+    /// [`RecoveryPolicy::off`] to pin the exact barrier schedule against
+    /// environment overrides (counter tests, benches).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ParallelSolverOptions {
@@ -126,6 +136,7 @@ impl Default for ParallelSolverOptions {
             tol: 1e-6,
             max_iterations: 50_000,
             variant: PcgVariant::Auto,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -162,6 +173,21 @@ pub struct ParallelSolveReport {
     /// and single-reduction schedules, whose reductions block at a
     /// [`SpinBarrier`] instead.
     pub split_crossings: usize,
+    /// True-residual audit phases performed, accumulated across ladder
+    /// reruns (each audit is one fused `f − K·u` phase: +1 barrier, no
+    /// reduction phase — the deviation sum feeds no CG scalar).
+    pub audits: usize,
+    /// Residual replacements plus in-place non-finite recoveries,
+    /// accumulated across reruns. Only the classic schedule replaces (the
+    /// recurrence schedules have no same-rung warm restart — they step
+    /// down the ladder instead).
+    pub replacements: usize,
+    /// Ladder step-downs this solve performed (Pipelined →
+    /// SingleReduction → Classic; each is a from-scratch rerun on the
+    /// lower rung).
+    pub recoveries: usize,
+    /// Non-finite reduction scalars detected, accumulated across reruns.
+    pub faults_detected: usize,
 }
 
 /// Status codes passed from worker 0 to the main thread. The zeroed bank
@@ -172,16 +198,34 @@ mod status {
     pub const INDEFINITE_K: f64 = 2.0;
     pub const INDEFINITE_M: f64 = 3.0;
     pub const BUDGET: f64 = 4.0;
-    /// Single-reduction recurrence breakdown: the caller must rerun on
-    /// the classic schedule.
+    /// Recurrence breakdown or detected corruption on a recurrence
+    /// schedule: the caller must rerun on the next rung down.
     pub const FALLBACK: f64 = 5.0;
+    /// A non-finite reduction scalar survived the classic schedule's
+    /// replacement budget: surfaces as `SparseError::NonFinite`.
+    pub const NONFINITE: f64 = 6.0;
 }
 
 /// Internal outcome of one pinned-schedule run.
 enum SolveOutcome {
     Report(ParallelSolveReport),
-    /// Single-reduction / pipelined breakdown: rerun classically.
-    Fallback,
+    /// Breakdown or detected corruption on a recurrence schedule: rerun
+    /// one rung down, carrying the failed run's counters.
+    Fallback {
+        audits: usize,
+        faults_detected: usize,
+    },
+}
+
+/// The audit decision of one solve, resolved once on the main thread and
+/// replicated read-only into every worker.
+struct ParAudit {
+    enabled: bool,
+    period: usize,
+    /// Squared replacement bound: replace / fall back when
+    /// `Σ((f − Ku)ᵢ − rᵢ)² > bound²` (NaN deviations fail the `<=`).
+    bound2: f64,
+    max_replacements: usize,
 }
 
 /// The shared-vector bundle of the pipelined schedule (the worker would
@@ -371,38 +415,110 @@ impl ParallelMStepPcg {
     /// Solve `K u = f` from the zero initial guess.
     ///
     /// [`ParallelSolverOptions::variant`] selects the schedule; a
-    /// single-reduction run that hits recurrence breakdown is rerun on
-    /// the classic schedule transparently (breakdown is decided by
+    /// recurrence run that hits breakdown or detected corruption is rerun
+    /// one **ladder rung** down (Pipelined → SingleReduction → Classic)
+    /// transparently, counting each step in
+    /// [`ParallelSolveReport::recoveries`] (breakdown is decided by
     /// replicated scalars, so every worker — and every rerun — takes the
-    /// branch deterministically).
+    /// branch deterministically). When [`ParallelSolverOptions::recovery`]
+    /// resolves auditing on, every `audit_period` iterations a fused
+    /// `f − K·u` phase compares the true residual against the recurrence
+    /// carry; divergence beyond the replacement bound replaces the carry
+    /// (classic) or steps down the ladder (recurrence schedules).
     ///
     /// # Errors
     /// [`SparseError::NotPositiveDefinite`] on breakdown,
-    /// [`SparseError::DidNotConverge`] on budget exhaustion, shape errors
-    /// on bad input.
+    /// [`SparseError::DidNotConverge`] on budget exhaustion,
+    /// [`SparseError::NonFinite`] when a non-finite reduction scalar
+    /// outlives the replacement budget (or for a NaN/Inf right-hand
+    /// side), [`SparseError::InvalidTolerance`] for a nonpositive or
+    /// non-finite tolerance, shape errors on bad input.
     pub fn solve(
         &self,
         f: &[f64],
         opts: &ParallelSolverOptions,
     ) -> Result<ParallelSolveReport, SparseError> {
+        self.solve_impl(f, opts, None)
+    }
+
+    /// [`ParallelMStepPcg::solve`] under an iteration-indexed
+    /// [`FaultPlan`]: at each planned `(target, iteration)` the worker
+    /// owning `index` perturbs its freshly computed kernel output before
+    /// the fused partials are formed — deterministic at every thread
+    /// count. The plan is consulted per rung rerun (a persistent fault
+    /// re-fires on each rung), so the returned report proves the full
+    /// ladder path.
+    ///
+    /// # Errors
+    /// Same classes as [`ParallelMStepPcg::solve`].
+    pub fn solve_with_faults(
+        &self,
+        f: &[f64],
+        opts: &ParallelSolverOptions,
+        plan: &FaultPlan,
+    ) -> Result<ParallelSolveReport, SparseError> {
+        self.solve_impl(f, opts, Some(plan))
+    }
+
+    fn solve_impl(
+        &self,
+        f: &[f64],
+        opts: &ParallelSolverOptions,
+        plan: Option<&FaultPlan>,
+    ) -> Result<ParallelSolveReport, SparseError> {
+        if !(opts.tol.is_finite() && opts.tol > 0.0) {
+            return Err(SparseError::InvalidTolerance { value: opts.tol });
+        }
+        if f.iter().any(|v| !v.is_finite()) {
+            return Err(SparseError::NonFinite {
+                phase: "rhs",
+                iteration: 0,
+            });
+        }
         let pinned = opts.variant.resolve();
-        match pinned {
-            PcgVariant::SingleReduction | PcgVariant::Pipelined => {
-                match self.solve_variant(f, opts, pinned)? {
-                    SolveOutcome::Report(report) => Ok(report),
-                    SolveOutcome::Fallback => {
-                        match self.solve_variant(f, opts, PcgVariant::Classic)? {
-                            SolveOutcome::Report(report) => Ok(report),
-                            // The classic schedule has no fallback exit.
-                            SolveOutcome::Fallback => unreachable!("classic schedule fell back"),
-                        }
-                    }
+        // Audit enablement is resolved once from the *requested* variant,
+        // so the classic rung of a ladder rerun inherits the decision.
+        let f_norm = f.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let audit = ParAudit {
+            enabled: opts.recovery.audit_enabled(pinned, opts.tol),
+            period: opts.recovery.period(),
+            bound2: {
+                let b = replacement_bound(opts.tol, f_norm);
+                b * b
+            },
+            max_replacements: opts.recovery.max_replacements,
+        };
+        let mut rung = if pinned == PcgVariant::SingleReduction || pinned == PcgVariant::Pipelined {
+            pinned
+        } else {
+            PcgVariant::Classic
+        };
+        let mut recoveries = 0usize;
+        let mut acc_audits = 0usize;
+        let mut acc_faults = 0usize;
+        loop {
+            match self.solve_variant(f, opts, rung, &audit, plan)? {
+                SolveOutcome::Report(mut report) => {
+                    report.audits += acc_audits;
+                    report.faults_detected += acc_faults;
+                    report.recoveries = recoveries;
+                    return Ok(report);
+                }
+                SolveOutcome::Fallback {
+                    audits,
+                    faults_detected,
+                } => {
+                    acc_audits += audits;
+                    acc_faults += faults_detected;
+                    recoveries += 1;
+                    rung = match rung {
+                        PcgVariant::Pipelined => PcgVariant::SingleReduction,
+                        PcgVariant::SingleReduction => PcgVariant::Classic,
+                        // The classic schedule has no fallback exit.
+                        _ => unreachable!("classic schedule fell back"),
+                    };
                 }
             }
-            _ => match self.solve_variant(f, opts, PcgVariant::Classic)? {
-                SolveOutcome::Report(report) => Ok(report),
-                SolveOutcome::Fallback => unreachable!("classic schedule fell back"),
-            },
         }
     }
 
@@ -412,6 +528,8 @@ impl ParallelMStepPcg {
         f: &[f64],
         opts: &ParallelSolverOptions,
         variant: PcgVariant,
+        audit: &ParAudit,
+        plan: Option<&FaultPlan>,
     ) -> Result<SolveOutcome, SparseError> {
         let n = self.dim();
         if f.len() != n {
@@ -492,8 +610,14 @@ impl ParallelMStepPcg {
         let bank = ScalarBank::new();
         let barrier = SpinBarrier::new(threads);
         let split = SplitBarrier::new(threads);
-        // [iterations, final_change, reduction_phases]
-        let iters_out = SharedVec::zeros(3);
+        // Audit scratch: the true-residual vector and the deviation
+        // partial bank, allocated only when the policy resolved auditing
+        // on (their phases never run otherwise).
+        let aud = SharedVec::zeros(if audit.enabled { n } else { 0 });
+        let dev_partials = SharedVec::zeros(if audit.enabled { threads } else { 0 });
+        // [iterations, final_change, reduction_phases, audits,
+        //  replacements, faults_detected]
+        let iters_out = SharedVec::zeros(6);
 
         std::thread::scope(|s| {
             for t in 0..threads {
@@ -503,6 +627,7 @@ impl ParallelMStepPcg {
                 let (dot_partials, change_partials, rz_partials, ps_partials) =
                     (&dot_partials, &change_partials, &rz_partials, &ps_partials);
                 let (pl, split) = (&pl, &split);
+                let (aud, dev_partials) = (&aud, &dev_partials);
                 let this = &*self;
                 // `serialized` pins the shared kernels to this worker:
                 // each strip is small by construction, so nested pool
@@ -511,7 +636,19 @@ impl ParallelMStepPcg {
                     mspcg_sparse::par::serialized(|| {
                         if pipelined {
                             this.worker_pipelined(
-                                t, strip, pl, bank, barrier, split, iters_out, opts,
+                                t,
+                                strip,
+                                pl,
+                                f,
+                                aud,
+                                dev_partials,
+                                audit,
+                                plan,
+                                bank,
+                                barrier,
+                                split,
+                                iters_out,
+                                opts,
                             );
                         } else if single_reduction {
                             this.worker_single_reduction(
@@ -528,6 +665,11 @@ impl ParallelMStepPcg {
                                 change_partials,
                                 rz_partials,
                                 ps_partials,
+                                f,
+                                aud,
+                                dev_partials,
+                                audit,
+                                plan,
                                 bank,
                                 barrier,
                                 iters_out,
@@ -546,6 +688,11 @@ impl ParallelMStepPcg {
                                 dot_partials,
                                 change_partials,
                                 rz_partials,
+                                f,
+                                aud,
+                                dev_partials,
+                                audit,
+                                plan,
                                 bank,
                                 barrier,
                                 iters_out,
@@ -562,8 +709,18 @@ impl ParallelMStepPcg {
         let iterations = out[0] as usize;
         let final_change = out[1];
         let reduction_phases = out[2] as usize;
+        let audits = out[3] as usize;
+        let replacements = out[4] as usize;
+        let faults_detected = out[5] as usize;
         match code {
-            c if c == status::FALLBACK => Ok(SolveOutcome::Fallback),
+            c if c == status::FALLBACK => Ok(SolveOutcome::Fallback {
+                audits,
+                faults_detected,
+            }),
+            c if c == status::NONFINITE => Err(SparseError::NonFinite {
+                phase: "replicated-reduction",
+                iteration: iterations,
+            }),
             c if c == status::INDEFINITE_K => Err(SparseError::NotPositiveDefinite {
                 pivot: iterations,
                 value: -1.0,
@@ -586,6 +743,10 @@ impl ParallelMStepPcg {
                 barrier_crossings: barrier.crossings(),
                 reduction_phases,
                 split_crossings: split.crossings(),
+                audits,
+                replacements,
+                recoveries: 0,
+                faults_detected,
             })),
         }
     }
@@ -616,6 +777,11 @@ impl ParallelMStepPcg {
         dot_partials: &SharedVec,
         change_partials: &SharedVec,
         rz_partials: &SharedVec,
+        f: &[f64],
+        aud: &SharedVec,
+        dev_partials: &SharedVec,
+        audit: &ParAudit,
+        plan: Option<&FaultPlan>,
         bank: &ScalarBank,
         barrier: &SpinBarrier,
         iters_out: &SharedVec,
@@ -626,47 +792,134 @@ impl ParallelMStepPcg {
         // the count at every exit; the ‖Δu‖∞ flag-network max is not a
         // dot-product phase and is not counted).
         let mut phases = 0usize;
+        let mut audits = 0usize;
+        let mut replacements = 0usize;
+        let mut faults = 0usize;
+        // Worker-0 outcome publication (every branch below is taken
+        // unanimously — the scalars are replicated).
+        macro_rules! finish {
+            ($code:expr, $iterations:expr, $change:expr) => {
+                if t == 0 {
+                    unsafe {
+                        bank.set(slot::STOP, $code);
+                        iters_out.write_at(0, $iterations as f64);
+                        iters_out.write_at(1, $change);
+                        iters_out.write_at(2, phases as f64);
+                        iters_out.write_at(3, audits as f64);
+                        iters_out.write_at(4, replacements as f64);
+                        iters_out.write_at(5, faults as f64);
+                    }
+                }
+            };
+        }
+        // In-place recovery from a non-finite reduction scalar: recompute
+        // the true residual `r ← f − K·u` and re-derive z, p, (z, r) —
+        // the same restart the serial classic loop performs — looping
+        // while the replacement budget lasts, then guard the fresh (z, r)
+        // like the init sequence. `rz` holds the fresh scalar afterwards.
+        macro_rules! recover_or_return {
+            ($rz:ident, $completed:expr) => {{
+                faults += 1;
+                loop {
+                    if replacements >= audit.max_replacements {
+                        finish!(status::NONFINITE, $completed, 0.0);
+                        return;
+                    }
+                    replacements += 1;
+                    $rz = self.reinit_phase(&own, t, f, u, r, z, p, y, rz_partials, barrier, None);
+                    phases += 1;
+                    if $rz.is_finite() {
+                        break;
+                    }
+                    faults += 1;
+                }
+                if $rz < 0.0 {
+                    finish!(status::INDEFINITE_M, $completed, 0.0);
+                    return;
+                }
+                if $rz == 0.0 {
+                    finish!(status::CONVERGED, $completed, 0.0);
+                    return;
+                }
+                if $completed >= opts.max_iterations {
+                    finish!(status::BUDGET, $completed, f64::INFINITY);
+                    return;
+                }
+            }};
+        }
 
         // --- init: z = M⁻¹ r, with p ← z and the (z, r) partial fused
         // into the preconditioner's final color phase — no extra barriers.
         self.msolve_phases(&own, t, r, z, y, Some(p), Some(rz_partials), barrier);
+        self.inject_msolve_fault(plan, 0, &own, z, Some(p), barrier);
         let mut rz: f64 = unsafe { rz_partials.read().iter().sum() };
         phases += 1;
+        if !rz.is_finite() {
+            recover_or_return!(rz, 0);
+        }
         if rz < 0.0 {
-            if t == 0 {
-                unsafe {
-                    bank.set(slot::STOP, status::INDEFINITE_M);
-                    iters_out.write_at(2, phases as f64);
-                }
-            }
+            finish!(status::INDEFINITE_M, 0, 0.0);
             return;
         }
         if rz == 0.0 {
-            if t == 0 {
-                unsafe {
-                    bank.set(slot::STOP, status::CONVERGED);
-                    iters_out.write_at(0, 0.0);
-                    iters_out.write_at(1, 0.0);
-                    iters_out.write_at(2, phases as f64);
-                }
-            }
+            finish!(status::CONVERGED, 0, 0.0);
             return;
         }
         if opts.max_iterations == 0 {
             // A zero budget with a nonzero residual is exhaustion, not
             // convergence — the serial solver reports the same.
-            if t == 0 {
-                unsafe {
-                    bank.set(slot::STOP, status::BUDGET);
-                    iters_out.write_at(0, 0.0);
-                    iters_out.write_at(1, f64::INFINITY);
-                    iters_out.write_at(2, phases as f64);
-                }
-            }
+            finish!(status::BUDGET, 0, f64::INFINITY);
             return;
         }
 
         for iter in 1..=opts.max_iterations {
+            // --- audit: every `period` iterations recompute the true
+            // residual in one fused phase (one barrier, no reduction
+            // phase) and compare it against the carried r; on divergence
+            // beyond the bound, adopt the true residual and re-derive
+            // z, p, (z, r) exactly like the init sequence.
+            if audit.enabled
+                && replacements < audit.max_replacements
+                && audit_due(iter, 0, audit.period)
+            {
+                let dev2 = self.audit_phase(&own, t, f, u, r, aud, dev_partials, barrier);
+                audits += 1;
+                // Iterations completed if a guard fires inside the
+                // replacement below (named so the macro's budget test
+                // doesn't expand to clippy's int_plus_one pattern).
+                let completed = iter - 1;
+                // NaN deviation fails `<=` and replaces too.
+                if diverged(dev2, audit.bound2) {
+                    replacements += 1;
+                    rz = self.reinit_phase(
+                        &own,
+                        t,
+                        f,
+                        u,
+                        r,
+                        z,
+                        p,
+                        y,
+                        rz_partials,
+                        barrier,
+                        Some(aud),
+                    );
+                    phases += 1;
+                    if !rz.is_finite() {
+                        recover_or_return!(rz, completed);
+                    }
+                    if rz < 0.0 {
+                        finish!(status::INDEFINITE_M, iter - 1, 0.0);
+                        return;
+                    }
+                    if rz == 0.0 {
+                        // The adopted true residual is exactly zero.
+                        finish!(status::CONVERGED, iter - 1, 0.0);
+                        return;
+                    }
+                }
+            }
+
             // --- kp = K p ⊕ (p, Kp) partial: the strip of kp this worker
             // just wrote is exactly the strip the partial reads, so the
             // dot needs no barrier of its own.
@@ -674,6 +927,9 @@ impl ParallelMStepPcg {
                 let pv = p.read();
                 let out = kp.write(own.clone());
                 self.strip_spmv(pv, out, own.clone());
+                if let Some((index, kind)) = claim_fault(plan, FaultTarget::Spmv, iter, &own) {
+                    out[index - own.start] = perturb(out[index - own.start], kind);
+                }
                 dot_partials.write_at(t, vecops::dot(&pv[own.clone()], out));
             }
             barrier.wait();
@@ -681,21 +937,20 @@ impl ParallelMStepPcg {
             // --- α (replicated) ---------------------------------------------
             let denom: f64 = unsafe { dot_partials.read().iter().sum() };
             phases += 1;
+            if !denom.is_finite() {
+                recover_or_return!(rz, iter);
+                continue;
+            }
             if denom <= 0.0 {
-                if t == 0 {
-                    unsafe {
-                        bank.set(
-                            slot::STOP,
-                            if rz == 0.0 {
-                                status::CONVERGED
-                            } else {
-                                status::INDEFINITE_K
-                            },
-                        );
-                        iters_out.write_at(0, (iter - 1) as f64);
-                        iters_out.write_at(2, phases as f64);
-                    }
-                }
+                finish!(
+                    if rz == 0.0 {
+                        status::CONVERGED
+                    } else {
+                        status::INDEFINITE_K
+                    },
+                    iter - 1,
+                    0.0
+                );
                 return;
             }
             let alpha = rz / denom;
@@ -719,43 +974,35 @@ impl ParallelMStepPcg {
 
             // --- convergence test (replicated flag network) ------------------
             let change = unsafe { change_partials.read().iter().fold(0.0f64, |a, &b| a.max(b)) };
+            if !change.is_finite() {
+                // The ∞-norm max swallows NaN, but an Inf step surfaces
+                // here (u may already be poisoned — the restart budget
+                // bounds the damage).
+                recover_or_return!(rz, iter);
+                continue;
+            }
             if change < opts.tol {
-                if t == 0 {
-                    unsafe {
-                        bank.set(slot::STOP, status::CONVERGED);
-                        iters_out.write_at(0, iter as f64);
-                        iters_out.write_at(1, change);
-                        iters_out.write_at(2, phases as f64);
-                    }
-                }
+                finish!(status::CONVERGED, iter, change);
                 return;
             }
             if iter == opts.max_iterations {
-                if t == 0 {
-                    unsafe {
-                        bank.set(slot::STOP, status::BUDGET);
-                        iters_out.write_at(0, iter as f64);
-                        iters_out.write_at(1, change);
-                        iters_out.write_at(2, phases as f64);
-                    }
-                }
+                finish!(status::BUDGET, iter, change);
                 return;
             }
 
             // --- z = M⁻¹ r, (z, r) partial fused into the final phase --------
             self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
+            self.inject_msolve_fault(plan, iter, &own, z, None, barrier);
 
             // --- β (replicated) ---------------------------------------------
             let rz_new: f64 = unsafe { rz_partials.read().iter().sum() };
             phases += 1;
+            if !rz_new.is_finite() {
+                recover_or_return!(rz, iter);
+                continue;
+            }
             if rz_new < 0.0 {
-                if t == 0 {
-                    unsafe {
-                        bank.set(slot::STOP, status::INDEFINITE_M);
-                        iters_out.write_at(0, iter as f64);
-                        iters_out.write_at(2, phases as f64);
-                    }
-                }
+                finish!(status::INDEFINITE_M, iter, change);
                 return;
             }
             let beta = rz_new / rz.max(1e-300);
@@ -796,6 +1043,11 @@ impl ParallelMStepPcg {
         change_partials: &SharedVec,
         rz_partials: &SharedVec,
         ps_partials: &SharedVec,
+        f: &[f64],
+        aud: &SharedVec,
+        dev_partials: &SharedVec,
+        audit: &ParAudit,
+        plan: Option<&FaultPlan>,
         bank: &ScalarBank,
         barrier: &SpinBarrier,
         iters_out: &SharedVec,
@@ -804,15 +1056,26 @@ impl ParallelMStepPcg {
         let own = strip.clone();
         let m_zero = self.alphas.is_empty();
         let mut phases = 0usize;
+        let mut audits = 0usize;
+        let mut faults = 0usize;
         // Worker-0 outcome publication (every branch below is taken
-        // unanimously — the scalars are replicated).
-        let finish = |code: f64, iterations: usize, change: f64, phases: usize| {
+        // unanimously — the scalars are replicated). The recurrence
+        // schedules never replace in place (slot 4 stays 0): corruption
+        // and breakdown both step down the ladder via FALLBACK.
+        let finish = |code: f64,
+                      iterations: usize,
+                      change: f64,
+                      phases: usize,
+                      audits: usize,
+                      faults: usize| {
             if t == 0 {
                 unsafe {
                     bank.set(slot::STOP, code);
                     iters_out.write_at(0, iterations as f64);
                     iters_out.write_at(1, change);
                     iters_out.write_at(2, phases as f64);
+                    iters_out.write_at(3, audits as f64);
+                    iters_out.write_at(5, faults as f64);
                 }
             }
         };
@@ -822,35 +1085,67 @@ impl ParallelMStepPcg {
         // rides the w phase instead.
         if !m_zero {
             self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
+            self.inject_msolve_fault(plan, 0, &own, z, None, barrier);
         }
-        self.w_phase(&own, t, m_zero, r, z, w, wz_partials, rz_partials, barrier);
+        self.w_phase(
+            &own,
+            t,
+            m_zero,
+            r,
+            z,
+            w,
+            wz_partials,
+            rz_partials,
+            barrier,
+            claim_fault(plan, FaultTarget::Spmv, 0, &own),
+        );
 
         // --- γ₀, δ₀ (replicated, ONE phase) -----------------------------
         let mut gamma: f64 = unsafe { rz_partials.read().iter().sum() };
         let delta: f64 = unsafe { wz_partials.read().iter().sum() };
         phases += 1;
+        if !(gamma.is_finite() && delta.is_finite()) {
+            // A poisoned init scalar: no recurrence state worth keeping —
+            // step down the ladder before any carry is built.
+            faults += 1;
+            finish(status::FALLBACK, 0, 0.0, phases, audits, faults);
+            return;
+        }
         if gamma < 0.0 {
-            finish(status::INDEFINITE_M, 0, 0.0, phases);
+            finish(status::INDEFINITE_M, 0, 0.0, phases, audits, faults);
             return;
         }
         if gamma == 0.0 {
-            finish(status::CONVERGED, 0, 0.0, phases);
+            finish(status::CONVERGED, 0, 0.0, phases, audits, faults);
             return;
         }
         if opts.max_iterations == 0 {
-            finish(status::BUDGET, 0, f64::INFINITY, phases);
+            finish(status::BUDGET, 0, f64::INFINITY, phases, audits, faults);
             return;
         }
         if delta <= 0.0 {
             // (z, Kz) ≤ 0 with z ≠ 0: let the classic schedule's probes
             // produce the canonical error.
-            finish(status::FALLBACK, 0, 0.0, phases);
+            finish(status::FALLBACK, 0, 0.0, phases, audits, faults);
             return;
         }
         let mut alpha = gamma / delta;
         let mut beta = 0.0f64;
 
         for iter in 1..=opts.max_iterations {
+            // --- audit (detector-only on the recurrence schedules): the
+            // fused true-residual phase costs one barrier; divergence has
+            // no same-rung warm restart here, so it steps down the
+            // ladder. The state audited is the one iteration `iter − 1`
+            // left behind.
+            if audit.enabled && audit_due(iter, 0, audit.period) {
+                let dev2 = self.audit_phase(&own, t, f, u, r, aud, dev_partials, barrier);
+                audits += 1;
+                if diverged(dev2, audit.bound2) {
+                    finish(status::FALLBACK, iter - 1, 0.0, phases, audits, faults);
+                    return;
+                }
+            }
             // --- mega-update phase: p ← z + βp, s ← w + βs, u += αp,
             // r −= αs ⊕ ‖Δu‖∞ and (p, s) partials — one barrier for all
             // four updates and both partials. The (p, s) strip partial
@@ -883,19 +1178,30 @@ impl ParallelMStepPcg {
 
             // --- convergence test (replicated flag network) + guards ---------
             let change = unsafe { change_partials.read().iter().fold(0.0f64, |a, &b| a.max(b)) };
+            if !change.is_finite() {
+                // ‖Δu‖∞ swallows NaN but surfaces Inf: a poisoned update.
+                faults += 1;
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
+                return;
+            }
             if change < opts.tol {
-                finish(status::CONVERGED, iter, change, phases);
+                finish(status::CONVERGED, iter, change, phases, audits, faults);
                 return;
             }
             if iter == opts.max_iterations {
-                finish(status::BUDGET, iter, change, phases);
+                finish(status::BUDGET, iter, change, phases, audits, faults);
+                return;
+            }
+            let ps: f64 = unsafe { ps_partials.read().iter().sum() };
+            if !ps.is_finite() {
+                faults += 1;
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
                 return;
             }
             // Directly measured curvature (p, s) ≤ 0: the recurrence can
-            // no longer be trusted — rerun classically.
-            let ps: f64 = unsafe { ps_partials.read().iter().sum() };
+            // no longer be trusted — rerun one rung down.
             if ps <= 0.0 {
-                finish(status::FALLBACK, iter, change, phases);
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
                 return;
             }
 
@@ -903,26 +1209,45 @@ impl ParallelMStepPcg {
             // then w = K z ⊕ (w, z) — THE reduction phase ---------------------
             if !m_zero {
                 self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
+                self.inject_msolve_fault(plan, iter, &own, z, None, barrier);
             }
-            self.w_phase(&own, t, m_zero, r, z, w, wz_partials, rz_partials, barrier);
+            self.w_phase(
+                &own,
+                t,
+                m_zero,
+                r,
+                z,
+                w,
+                wz_partials,
+                rz_partials,
+                barrier,
+                claim_fault(plan, FaultTarget::Spmv, iter, &own),
+            );
 
             // --- γ′, δ, then β and the reconstructed α (replicated) ----------
             let gamma_new: f64 = unsafe { rz_partials.read().iter().sum() };
             let delta: f64 = unsafe { wz_partials.read().iter().sum() };
             phases += 1;
+            if !(gamma_new.is_finite() && delta.is_finite()) {
+                // Checked before either scalar feeds α/β, so u is still a
+                // valid iterate when the lower rung reruns.
+                faults += 1;
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
+                return;
+            }
             if gamma_new < 0.0 {
-                finish(status::INDEFINITE_M, iter, change, phases);
+                finish(status::INDEFINITE_M, iter, change, phases, audits, faults);
                 return;
             }
             if gamma_new == 0.0 {
                 // Exact convergence in fewer than n steps.
-                finish(status::CONVERGED, iter, change, phases);
+                finish(status::CONVERGED, iter, change, phases, audits, faults);
                 return;
             }
             let beta_new = gamma_new / gamma.max(1e-300);
             let denom = delta - beta_new * gamma_new / alpha;
             if !(denom.is_finite() && denom > 0.0) {
-                finish(status::FALLBACK, iter, change, phases);
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
                 return;
             }
             beta = beta_new;
@@ -956,11 +1281,17 @@ impl ParallelMStepPcg {
     /// instead and one full barrier per iteration separates the w-bank
     /// write from the cross-strip `K·w` read.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn worker_pipelined(
         &self,
         t: usize,
         strip: std::ops::Range<usize>,
         vecs: &PipelinedVecs<'_>,
+        f: &[f64],
+        aud: &SharedVec,
+        dev_partials: &SharedVec,
+        audit: &ParAudit,
+        plan: Option<&FaultPlan>,
         bank: &ScalarBank,
         barrier: &SpinBarrier,
         split: &SplitBarrier,
@@ -970,15 +1301,26 @@ impl ParallelMStepPcg {
         let own = strip;
         let m_zero = self.alphas.is_empty();
         let mut phases = 0usize;
+        let mut audits = 0usize;
+        let mut faults = 0usize;
         // Worker-0 outcome publication (every branch below is taken
-        // unanimously — the scalars are replicated).
-        let finish = |code: f64, iterations: usize, change: f64, phases: usize| {
+        // unanimously — the scalars are replicated). Slot 4 (replacements)
+        // stays zero: the pipelined schedule is detector-only and heals by
+        // falling one rung down the ladder.
+        let finish = |code: f64,
+                      iterations: usize,
+                      change: f64,
+                      phases: usize,
+                      audits: usize,
+                      faults: usize| {
             if t == 0 {
                 unsafe {
                     bank.set(slot::STOP, code);
                     iters_out.write_at(0, iterations as f64);
                     iters_out.write_at(1, change);
                     iters_out.write_at(2, phases as f64);
+                    iters_out.write_at(3, audits as f64);
+                    iters_out.write_at(5, faults as f64);
                 }
             }
         };
@@ -997,15 +1339,21 @@ impl ParallelMStepPcg {
                 Some(vecs.gamma[0]),
                 barrier,
             );
+            self.inject_msolve_fault(plan, 0, &own, vecs.z, None, barrier);
             // z⁰ was finalized by the msolve's last internal barrier.
             unsafe {
                 let zv = vecs.z.read();
                 let out = vecs.w[0].write(own.clone());
                 self.strip_spmv(zv, out, own.clone());
+                if let Some((index, kind)) = claim_fault(plan, FaultTarget::Spmv, 0, &own) {
+                    out[index - own.start] = perturb(out[index - own.start], kind);
+                }
                 vecs.delta[0].write_at(t, vecops::dot(&zv[own.clone()], out));
             }
             let ticket = split.arrive();
             // The msolve reads its input w⁰ at own rows only — no barrier.
+            // The auxiliary mv⁰ is not a fault target: the planned msolve
+            // fault at iteration 0 lands in z⁰ above.
             self.msolve_phases(&own, t, vecs.w[0], vecs.mv[0], vecs.y, None, None, barrier);
             unsafe {
                 let mvv = vecs.mv[0].read();
@@ -1019,6 +1367,9 @@ impl ParallelMStepPcg {
                 let rv = vecs.r.read();
                 let out = vecs.w[0].write(own.clone());
                 self.strip_spmv(rv, out, own.clone());
+                if let Some((index, kind)) = claim_fault(plan, FaultTarget::Spmv, 0, &own) {
+                    out[index - own.start] = perturb(out[index - own.start], kind);
+                }
                 let rs = &rv[own.clone()];
                 vecs.gamma[0].write_at(t, vecops::dot(rs, rs));
                 vecs.delta[0].write_at(t, vecops::dot(rs, out));
@@ -1038,27 +1389,45 @@ impl ParallelMStepPcg {
         let mut gamma: f64 = unsafe { vecs.gamma[0].read().iter().sum() };
         let delta0: f64 = unsafe { vecs.delta[0].read().iter().sum() };
         phases += 1;
+        if !(gamma.is_finite() && delta0.is_finite()) {
+            faults += 1;
+            finish(status::FALLBACK, 0, 0.0, phases, audits, faults);
+            return;
+        }
         if gamma < 0.0 {
             // Fresh quadratic form (no drift yet): indefinite M.
-            finish(status::INDEFINITE_M, 0, 0.0, phases);
+            finish(status::INDEFINITE_M, 0, 0.0, phases, audits, faults);
             return;
         }
         if gamma == 0.0 {
-            finish(status::CONVERGED, 0, 0.0, phases);
+            finish(status::CONVERGED, 0, 0.0, phases, audits, faults);
             return;
         }
         if opts.max_iterations == 0 {
-            finish(status::BUDGET, 0, f64::INFINITY, phases);
+            finish(status::BUDGET, 0, f64::INFINITY, phases, audits, faults);
             return;
         }
         if delta0 <= 0.0 {
-            finish(status::FALLBACK, 0, 0.0, phases);
+            finish(status::FALLBACK, 0, 0.0, phases, audits, faults);
             return;
         }
         let mut alpha = gamma / delta0;
         let mut beta = 0.0f64;
 
         for iter in 1..=opts.max_iterations {
+            // --- audit: recompute the true residual against the previous
+            // iterate (u and r were finalized by the split wait above) and
+            // fall a rung down on divergence — the pipelined recurrences
+            // carry too much coupled state to splice a replacement in.
+            if audit.enabled && audit_due(iter, 0, audit.period) {
+                let dev2 = self.audit_phase(&own, t, f, vecs.u, vecs.r, aud, dev_partials, barrier);
+                audits += 1;
+                if diverged(dev2, audit.bound2) {
+                    finish(status::FALLBACK, iter - 1, 0.0, phases, audits, faults);
+                    return;
+                }
+            }
+
             // Bank parity: iteration k publishes into bank k mod 2, so a
             // fast worker's next-iteration writes can never alias a
             // straggler's reads of this iteration's banks (the following
@@ -1149,6 +1518,11 @@ impl ParallelMStepPcg {
             let ticket = split.arrive();
 
             // --- overlapped heavy phase: mv = M⁻¹w, nv = K·mv -------------
+            // Fault points: the planned msolve fault perturbs mv (the
+            // iteration's preconditioner application) behind its final
+            // barrier; the planned SpMV fault perturbs the owner's fresh
+            // nv strip, which only the owner reads before the next parity
+            // rotation — no extra barrier.
             if m_zero {
                 // mv ≡ w: the K·w SpMV reads w cross-strip — one barrier.
                 barrier.wait();
@@ -1156,13 +1530,20 @@ impl ParallelMStepPcg {
                     let wv = vecs.w[pk].read();
                     let out = vecs.nv.write(own.clone());
                     self.strip_spmv(wv, out, own.clone());
+                    if let Some((index, kind)) = claim_fault(plan, FaultTarget::Spmv, iter, &own) {
+                        out[index - own.start] = perturb(out[index - own.start], kind);
+                    }
                 }
             } else {
                 self.msolve_phases(&own, t, vecs.w[0], vecs.mv[pk], vecs.y, None, None, barrier);
+                self.inject_msolve_fault(plan, iter, &own, vecs.mv[pk], None, barrier);
                 unsafe {
                     let mvv = vecs.mv[pk].read();
                     let out = vecs.nv.write(own.clone());
                     self.strip_spmv(mvv, out, own.clone());
+                    if let Some((index, kind)) = claim_fault(plan, FaultTarget::Spmv, iter, &own) {
+                        out[index - own.start] = perturb(out[index - own.start], kind);
+                    }
                 }
             }
             split.wait(ticket);
@@ -1174,30 +1555,153 @@ impl ParallelMStepPcg {
             let delta: f64 = unsafe { vecs.delta[pk].read().iter().sum() };
             let ps: f64 = unsafe { vecs.guard[pk].read().iter().sum() };
             phases += 1;
+            if !change.is_finite() {
+                // ‖Δu‖∞ swallows NaN but surfaces Inf: a poisoned update.
+                faults += 1;
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
+                return;
+            }
             if change < opts.tol {
-                finish(status::CONVERGED, iter, change, phases);
+                finish(status::CONVERGED, iter, change, phases, audits, faults);
                 return;
             }
             if iter == opts.max_iterations {
-                finish(status::BUDGET, iter, change, phases);
+                finish(status::BUDGET, iter, change, phases, audits, faults);
+                return;
+            }
+            if !(gamma_new.is_finite() && delta.is_finite() && ps.is_finite()) {
+                faults += 1;
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
                 return;
             }
             // Guards: γ′ = (r, z) is a product of two recurrence carries
             // (not a fresh quadratic form), so every nonpositive scalar
-            // routes to the classic fallback — see the serial loop's docs.
+            // routes to the fallback rung — see the serial loop's docs.
             if gamma_new <= 0.0 || ps <= 0.0 {
-                finish(status::FALLBACK, iter, change, phases);
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
                 return;
             }
             let beta_new = gamma_new / gamma.max(1e-300);
             let denom = delta - beta_new * gamma_new / alpha;
             if !(denom.is_finite() && denom > 0.0) {
-                finish(status::FALLBACK, iter, change, phases);
+                finish(status::FALLBACK, iter, change, phases, audits, faults);
                 return;
             }
             beta = beta_new;
             alpha = gamma_new / denom;
             gamma = gamma_new;
+        }
+    }
+
+    /// The classic schedule's restart phase, shared by the audit-replace
+    /// and non-finite recovery paths: refresh `r` to the true residual —
+    /// adopting the audited copy when one is on hand (`fresh`), else
+    /// recomputing `r ← f − K·u` over the strip — then re-derive
+    /// `z = M⁻¹r`, `p ← z` and the `(z, r)` partial exactly like the init
+    /// sequence, returning the replicated fresh scalar.
+    ///
+    /// No barrier precedes the `r` overwrite: every entry point has just
+    /// consumed a replicated scalar (all workers are past its publishing
+    /// barrier), and the classic schedule never reads `r` cross-strip.
+    #[allow(clippy::too_many_arguments)]
+    fn reinit_phase(
+        &self,
+        own: &std::ops::Range<usize>,
+        t: usize,
+        f: &[f64],
+        u: &SharedVec,
+        r: &SharedVec,
+        z: &SharedVec,
+        p: &SharedVec,
+        y: &SharedVec,
+        rz_partials: &SharedVec,
+        barrier: &SpinBarrier,
+        fresh: Option<&SharedVec>,
+    ) -> f64 {
+        unsafe {
+            match fresh {
+                Some(aud) => {
+                    let av = aud.read();
+                    r.write(own.clone()).copy_from_slice(&av[own.clone()]);
+                }
+                None => {
+                    let uv = u.read();
+                    let ro = r.write(own.clone());
+                    self.strip_spmv(uv, ro, own.clone());
+                    for (k, i) in own.clone().enumerate() {
+                        ro[k] = f[i] - ro[k];
+                    }
+                }
+            }
+        }
+        self.msolve_phases(own, t, r, z, y, Some(p), Some(rz_partials), barrier);
+        unsafe { rz_partials.read().iter().sum() }
+    }
+
+    /// The fused audit phase shared by every schedule: `aud ← f − K·u`
+    /// over the strip ⊕ the squared-deviation partial against the
+    /// recurrence carry `r` — one barrier — then the replicated deviation
+    /// sum. `u` and `r` were finalized by the previous iteration's
+    /// barriers; `aud` and the partial bank are only ever read own-strip
+    /// before the next audit, which is at least a period of barriers
+    /// away.
+    #[allow(clippy::too_many_arguments)]
+    fn audit_phase(
+        &self,
+        own: &std::ops::Range<usize>,
+        t: usize,
+        f: &[f64],
+        u: &SharedVec,
+        r: &SharedVec,
+        aud: &SharedVec,
+        dev_partials: &SharedVec,
+        barrier: &SpinBarrier,
+    ) -> f64 {
+        unsafe {
+            let uv = u.read();
+            let out = aud.write(own.clone());
+            self.strip_spmv(uv, out, own.clone());
+            let rv = r.read();
+            let mut dev2 = 0.0;
+            for (k, i) in own.clone().enumerate() {
+                let rt = f[i] - out[k];
+                out[k] = rt;
+                let d = rt - rv[i];
+                dev2 += d * d;
+            }
+            dev_partials.write_at(t, dev2);
+        }
+        barrier.wait();
+        unsafe { dev_partials.read().iter().sum() }
+    }
+
+    /// Apply a planned preconditioner-output fault *after* the msolve's
+    /// final barrier: the owner of `index` perturbs the output (and the
+    /// initialized `p⁰` copy, when given — the init fuses `p ← z` into
+    /// the sweep, so the fault must land in both). Because the next phase
+    /// may read the output cross-strip, every worker crosses one extra
+    /// barrier on fault iterations — the lookup is replicated, so the
+    /// decision is unanimous and the crossing count stays in lockstep.
+    fn inject_msolve_fault(
+        &self,
+        plan: Option<&FaultPlan>,
+        iteration: usize,
+        own: &std::ops::Range<usize>,
+        z: &SharedVec,
+        p0: Option<&SharedVec>,
+        barrier: &SpinBarrier,
+    ) {
+        if let Some(fault) = plan.and_then(|pl| pl.find(FaultTarget::Msolve, iteration)) {
+            if own.contains(&fault.index) {
+                unsafe {
+                    let v = perturb(z.read()[fault.index], fault.kind);
+                    z.write_at(fault.index, v);
+                    if let Some(p) = p0 {
+                        p.write_at(fault.index, v);
+                    }
+                }
+            }
+            barrier.wait();
         }
     }
 
@@ -1220,11 +1724,15 @@ impl ParallelMStepPcg {
         wz_partials: &SharedVec,
         rz_partials: &SharedVec,
         barrier: &SpinBarrier,
+        fault: Option<(usize, FaultKind)>,
     ) {
         unsafe {
             let zv = if m_zero { r.read() } else { z.read() };
             let out = w.write(own.clone());
             self.strip_spmv(zv, out, own.clone());
+            if let Some((index, kind)) = fault {
+                out[index - own.start] = perturb(out[index - own.start], kind);
+            }
             wz_partials.write_at(t, vecops::dot(&zv[own.clone()], out));
             if m_zero {
                 rz_partials.write_at(t, vecops::dot(&zv[own.clone()], &zv[own.clone()]));
@@ -1357,6 +1865,22 @@ impl ParallelMStepPcg {
         }
         s
     }
+}
+
+/// The fault the strip owning `index` must inject at `(target,
+/// iteration)`, if any. Every worker evaluates the same replicated
+/// lookup; only the owner acts (SpMV faults are applied to the owner's
+/// freshly written strip before its fused partial, so no extra barrier
+/// is needed).
+fn claim_fault(
+    plan: Option<&FaultPlan>,
+    target: FaultTarget,
+    iteration: usize,
+    own: &std::ops::Range<usize>,
+) -> Option<(usize, FaultKind)> {
+    plan.and_then(|p| p.find(target, iteration))
+        .filter(|fault| own.contains(&fault.index))
+        .map(|fault| (fault.index, fault.kind))
 }
 
 #[cfg(test)]
@@ -1548,6 +2072,9 @@ mod tests {
             tol,
             max_iterations: 10_000,
             variant,
+            // The schedule-pinning tests assert exact crossing counts, so
+            // the audit phase must stay off regardless of env overrides.
+            recovery: RecoveryPolicy::off(),
         }
     }
 
@@ -1672,6 +2199,7 @@ mod tests {
                 tol: 1e-14,
                 max_iterations: 2,
                 variant: PcgVariant::SingleReduction,
+                ..Default::default()
             },
         );
         assert!(matches!(
@@ -1685,6 +2213,7 @@ mod tests {
                 tol: 1e-8,
                 max_iterations: 0,
                 variant: PcgVariant::SingleReduction,
+                ..Default::default()
             },
         );
         assert!(matches!(
@@ -1868,6 +2397,7 @@ mod tests {
                 tol: 1e-14,
                 max_iterations: 2,
                 variant: PcgVariant::Pipelined,
+                ..Default::default()
             },
         );
         assert!(matches!(
@@ -1881,6 +2411,7 @@ mod tests {
                 tol: 1e-8,
                 max_iterations: 0,
                 variant: PcgVariant::Pipelined,
+                ..Default::default()
             },
         );
         assert!(matches!(
@@ -1914,5 +2445,246 @@ mod tests {
             .unwrap();
         assert!(rep.converged);
         assert!(rep.threads <= a.rows());
+    }
+
+    #[test]
+    fn rejects_poisoned_inputs_and_bad_tolerance() {
+        let (a, colors, rhs) = plate(4);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let mut bad = rhs.clone();
+        bad[1] = f64::NAN;
+        assert!(matches!(
+            par.solve(&bad, &ParallelSolverOptions::default()),
+            Err(SparseError::NonFinite { phase: "rhs", .. })
+        ));
+        bad[1] = f64::INFINITY;
+        assert!(matches!(
+            par.solve(&bad, &ParallelSolverOptions::default()),
+            Err(SparseError::NonFinite { phase: "rhs", .. })
+        ));
+        for tol in [0.0, -1e-8, f64::NAN, f64::INFINITY] {
+            let opts = ParallelSolverOptions {
+                tol,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    par.solve(&rhs, &opts),
+                    Err(SparseError::InvalidTolerance { .. })
+                ),
+                "tol = {tol}"
+            );
+        }
+    }
+
+    /// The audit acceptance gate: on a clean run the fused `f − K·u`
+    /// audit phase costs exactly ONE extra barrier crossing per audit, no
+    /// reduction phase, fires `⌊(k − 1)/period⌋` times, never replaces —
+    /// and leaves the iterate stream bitwise untouched on every schedule.
+    #[test]
+    fn audit_phase_costs_one_barrier_and_nothing_else() {
+        let (a, colors, rhs) = plate(8);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        for variant in [
+            PcgVariant::Classic,
+            PcgVariant::SingleReduction,
+            PcgVariant::Pipelined,
+        ] {
+            let off = par.solve(&rhs, &variant_opts(variant, 4, 1e-8)).unwrap();
+            let mut opts = variant_opts(variant, 4, 1e-8);
+            opts.recovery = RecoveryPolicy {
+                replacement: mspcg_core::recovery::Toggle::On,
+                audit_period: 4,
+                ..RecoveryPolicy::default()
+            };
+            let on = par.solve(&rhs, &opts).unwrap();
+            assert!(on.converged, "{variant:?}");
+            assert_eq!(on.iterations, off.iterations, "{variant:?}");
+            // Bitwise identical: the audit observes, it does not touch.
+            assert!(
+                on.x.iter()
+                    .zip(&off.x)
+                    .all(|(u, v)| u.to_bits() == v.to_bits()),
+                "{variant:?}"
+            );
+            let audits = (off.iterations - 1) / 4;
+            assert_eq!(on.audits, audits, "{variant:?}");
+            assert_eq!(
+                on.barrier_crossings,
+                off.barrier_crossings + audits,
+                "{variant:?}"
+            );
+            assert_eq!(on.reduction_phases, off.reduction_phases, "{variant:?}");
+            assert_eq!(on.split_crossings, off.split_crossings, "{variant:?}");
+            assert_eq!(
+                (on.replacements, on.recoveries, on.faults_detected),
+                (0, 0, 0),
+                "{variant:?}"
+            );
+        }
+    }
+
+    fn exact_solution(a: &CsrMatrix, rhs: &[f64]) -> Vec<f64> {
+        a.to_dense().cholesky().unwrap().solve(rhs)
+    }
+
+    fn nan_msolve_at(iteration: usize) -> FaultPlan {
+        FaultPlan::new(vec![mspcg_core::recovery::IterationFault {
+            target: FaultTarget::Msolve,
+            iteration,
+            index: 3,
+            kind: FaultKind::NaN,
+        }])
+    }
+
+    #[test]
+    fn classic_absorbs_nan_msolve_fault_in_place() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let rep = par
+            .solve_with_faults(
+                &rhs,
+                &variant_opts(PcgVariant::Classic, 4, 1e-8),
+                &nan_msolve_at(2),
+            )
+            .unwrap();
+        assert!(rep.converged);
+        assert_eq!(rep.variant, PcgVariant::Classic);
+        // One non-finite β-scalar detection, one in-place restart, no
+        // ladder motion, no audit phases (policy pinned off).
+        assert_eq!(
+            (
+                rep.faults_detected,
+                rep.replacements,
+                rep.recoveries,
+                rep.audits
+            ),
+            (1, 1, 0, 0)
+        );
+        for (x, v) in rep.x.iter().zip(&exact_solution(&a, &rhs)) {
+            assert!((x - v).abs() < 1e-5, "{x} vs {v}");
+        }
+    }
+
+    /// The persistent-fault ladder walk: the planned fault is
+    /// iteration-indexed and every rung rerun restarts the counter, so it
+    /// re-fires on each rung — detector-only rungs step down, the classic
+    /// rung absorbs it. Counters prove the exact path.
+    #[test]
+    fn recurrence_schedules_walk_the_ladder_under_persistent_fault() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let exact = exact_solution(&a, &rhs);
+
+        // SingleReduction: detect at the poisoned γ′ → one step down →
+        // classic absorbs the re-fired fault in place.
+        let sr = par
+            .solve_with_faults(
+                &rhs,
+                &variant_opts(PcgVariant::SingleReduction, 4, 1e-8),
+                &nan_msolve_at(2),
+            )
+            .unwrap();
+        assert!(sr.converged);
+        assert_eq!(sr.variant, PcgVariant::Classic);
+        assert_eq!(
+            (
+                sr.faults_detected,
+                sr.replacements,
+                sr.recoveries,
+                sr.audits
+            ),
+            (2, 1, 1, 0)
+        );
+        for (x, v) in sr.x.iter().zip(&exact) {
+            assert!((x - v).abs() < 1e-5, "{x} vs {v}");
+        }
+
+        // Pipelined: the poisoned auxiliary surfaces one iteration later
+        // in γ′/δ → two steps down, three detections total.
+        let pl = par
+            .solve_with_faults(
+                &rhs,
+                &variant_opts(PcgVariant::Pipelined, 4, 1e-8),
+                &nan_msolve_at(2),
+            )
+            .unwrap();
+        assert!(pl.converged);
+        assert_eq!(pl.variant, PcgVariant::Classic);
+        assert_eq!(
+            (
+                pl.faults_detected,
+                pl.replacements,
+                pl.recoveries,
+                pl.audits
+            ),
+            (3, 1, 2, 0)
+        );
+        for (x, v) in pl.x.iter().zip(&exact) {
+            assert!((x - v).abs() < 1e-5, "{x} vs {v}");
+        }
+    }
+
+    /// A large-but-finite SpMV corruption slips every non-finite check —
+    /// only the residual audit can see it. The classic schedule replaces
+    /// the drifted carry and still converges to the true solution.
+    #[test]
+    fn audit_catches_finite_spmv_corruption_and_replaces() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let mut opts = variant_opts(PcgVariant::Classic, 4, 1e-10);
+        opts.recovery = RecoveryPolicy {
+            replacement: mspcg_core::recovery::Toggle::On,
+            audit_period: 4,
+            ..RecoveryPolicy::default()
+        };
+        let plan = FaultPlan::new(vec![mspcg_core::recovery::IterationFault {
+            target: FaultTarget::Spmv,
+            iteration: 2,
+            index: 3,
+            kind: FaultKind::ScaledNoise(0.5),
+        }]);
+        let rep = par.solve_with_faults(&rhs, &opts, &plan).unwrap();
+        assert!(rep.converged);
+        // The drift is finite: no non-finite detection fires, the audit at
+        // iteration 5 replaces once, and later audits stay clean.
+        assert_eq!(
+            (rep.faults_detected, rep.replacements, rep.recoveries),
+            (0, 1, 0)
+        );
+        assert!(rep.audits >= 1);
+        for (x, v) in rep.x.iter().zip(&exact_solution(&a, &rhs)) {
+            assert!((x - v).abs() < 1e-5, "{x} vs {v}");
+        }
+    }
+
+    #[test]
+    fn faulted_solves_replay_bitwise() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let opts = variant_opts(PcgVariant::Pipelined, 4, 1e-8);
+        let plan = nan_msolve_at(2);
+        let r1 = par.solve_with_faults(&rhs, &opts, &plan).unwrap();
+        let r2 = par.solve_with_faults(&rhs, &opts, &plan).unwrap();
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(
+            (
+                r1.faults_detected,
+                r1.replacements,
+                r1.recoveries,
+                r1.audits
+            ),
+            (
+                r2.faults_detected,
+                r2.replacements,
+                r2.recoveries,
+                r2.audits
+            )
+        );
+        assert!(r1
+            .x
+            .iter()
+            .zip(&r2.x)
+            .all(|(u, v)| u.to_bits() == v.to_bits()));
     }
 }

@@ -72,6 +72,25 @@ pub enum SparseError {
         /// Human-readable description of the defect.
         reason: String,
     },
+    /// A NaN or infinity surfaced where the solver needs finite data — in
+    /// the inputs (`phase` = `"rhs"` / `"initial-guess"`, `iteration` = 0)
+    /// or in a reduction scalar mid-solve after the recovery budget was
+    /// exhausted. The fused reduction kernels are the detectors: a
+    /// non-finite element poisons its dot product, so the scalars are
+    /// checked instead of the vectors.
+    NonFinite {
+        /// Where the non-finite value was detected (a phase name such as
+        /// `"rhs"`, `"spmv-reduction"`, `"msolve-reduction"`).
+        phase: &'static str,
+        /// Iteration at which detection happened (0 = before iterating).
+        iteration: usize,
+    },
+    /// A stopping tolerance was nonpositive, NaN or infinite — the solve
+    /// could never terminate meaningfully, so it is rejected up front.
+    InvalidTolerance {
+        /// The offending tolerance.
+        value: f64,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -110,6 +129,18 @@ impl fmt::Display for SparseError {
             SparseError::InvalidPartition { reason } => {
                 write!(f, "invalid partition: {reason}")
             }
+            SparseError::NonFinite { phase, iteration } => {
+                write!(
+                    f,
+                    "non-finite value detected in {phase} at iteration {iteration}"
+                )
+            }
+            SparseError::InvalidTolerance { value } => {
+                write!(
+                    f,
+                    "invalid tolerance {value:e} (must be finite and positive)"
+                )
+            }
         }
     }
 }
@@ -137,6 +168,14 @@ mod tests {
             reason: "gap at 5".into(),
         };
         assert!(e.to_string().contains("gap at 5"));
+        let e = SparseError::NonFinite {
+            phase: "msolve-reduction",
+            iteration: 7,
+        };
+        assert!(e.to_string().contains("msolve-reduction"));
+        assert!(e.to_string().contains("iteration 7"));
+        let e = SparseError::InvalidTolerance { value: -1.0 };
+        assert!(e.to_string().contains("tolerance"));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! | `MSPCG_MIN_SPMV_CHUNK_NNZ` | [`DEFAULT_MIN_SPMV_CHUNK_NNZ`] | minimum stored entries per nnz-weighted SpMV chunk |
 //! | `MSPCG_FORCE_FORMAT` | *(unset)* | pin [`crate::op::AutoOp`] to one storage format (`csr` or `sellcs`) |
 //! | `MSPCG_PCG_VARIANT` | *(unset)* | pin the PCG iteration variant (`classic`, `single_reduction` or `pipelined`) for every solver whose options leave the variant on automatic |
+//! | `MSPCG_AUDIT_PERIOD` | [`DEFAULT_AUDIT_PERIOD`] | iterations between true-residual audits when residual replacement is active |
+//! | `MSPCG_RESIDUAL_REPLACEMENT` | *(unset)* | force residual auditing + replacement on (`1`/`true`/`on`) or off (`0`/`false`/`off`) for every solver whose recovery policy is on automatic |
 //!
 //! Values are read **once**, at first use, and cached for the lifetime of
 //! the process: chunk layouts derived from them must stay fixed so the
@@ -39,6 +41,12 @@ pub const DEFAULT_PAR_MIN_NNZ: usize = 1 << 14;
 /// Default for [`min_spmv_chunk_nnz`]: below this many stored entries per
 /// chunk, the chunk-claim overhead dominates the row loop.
 pub const DEFAULT_MIN_SPMV_CHUNK_NNZ: usize = 1 << 9;
+
+/// Default for [`audit_period`]: iterations between true-residual audits
+/// when residual replacement is active. One audit costs one extra SpMV (and
+/// one extra barrier on the SPMD schedule), so the default trades a few
+/// percent of overhead for bounded recurrence drift.
+pub const DEFAULT_AUDIT_PERIOD: usize = 32;
 
 /// Parse an `MSPCG_*` tuning value: `Some(n)` for a positive integer,
 /// `None` for anything else (`0`, empty, non-numeric, overflow). Zero is
@@ -86,6 +94,47 @@ pub fn par_min_nnz() -> usize {
 pub fn min_spmv_chunk_nnz() -> usize {
     static CELL: OnceLock<usize> = OnceLock::new();
     *CELL.get_or_init(|| env_threshold("MSPCG_MIN_SPMV_CHUNK_NNZ", DEFAULT_MIN_SPMV_CHUNK_NNZ))
+}
+
+/// Iterations between true-residual audits when residual replacement is
+/// active. `MSPCG_AUDIT_PERIOD` (a positive integer; `1` audits every
+/// iteration).
+pub fn audit_period() -> usize {
+    static CELL: OnceLock<usize> = OnceLock::new();
+    *CELL.get_or_init(|| env_threshold("MSPCG_AUDIT_PERIOD", DEFAULT_AUDIT_PERIOD))
+}
+
+/// Parse an `MSPCG_RESIDUAL_REPLACEMENT` value: `Some(true)` / `Some(false)`
+/// for a known switch name (case-insensitive), `None` for anything else —
+/// the same pure-function validation shape as [`parse_positive`].
+pub fn parse_switch(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// The `MSPCG_RESIDUAL_REPLACEMENT` override: `Some(enabled)` when the
+/// environment pins residual auditing + replacement for solves whose
+/// recovery policy is on automatic, `None` when unset or empty (the
+/// tight-tolerance heuristic decides). Validated exactly like
+/// `MSPCG_THREADS`: an unknown value trips a debug assertion and behaves as
+/// unset. Read once and cached — the audit schedule must not flip between
+/// two solves of one process, or replay determinism would break.
+pub fn forced_residual_replacement() -> Option<bool> {
+    static CELL: OnceLock<Option<bool>> = OnceLock::new();
+    *CELL.get_or_init(|| match std::env::var("MSPCG_RESIDUAL_REPLACEMENT") {
+        Ok(v) if !v.trim().is_empty() => {
+            let parsed = parse_switch(&v);
+            debug_assert!(
+                parsed.is_some(),
+                "MSPCG_RESIDUAL_REPLACEMENT must be a boolean switch (1/0/true/false/on/off), got {v:?}"
+            );
+            parsed
+        }
+        _ => None,
+    })
 }
 
 /// Storage formats [`crate::op::AutoOp`] can select between.
@@ -232,6 +281,24 @@ mod tests {
         if std::env::var("MSPCG_MIN_SPMV_CHUNK_NNZ").is_err() {
             assert_eq!(min_spmv_chunk_nnz(), DEFAULT_MIN_SPMV_CHUNK_NNZ);
         }
+        if std::env::var("MSPCG_AUDIT_PERIOD").is_err() {
+            assert_eq!(audit_period(), DEFAULT_AUDIT_PERIOD);
+        }
+    }
+
+    #[test]
+    fn parse_switch_accepts_known_names_and_rejects_garbage() {
+        assert_eq!(parse_switch("1"), Some(true));
+        assert_eq!(parse_switch(" TRUE "), Some(true));
+        assert_eq!(parse_switch("on"), Some(true));
+        assert_eq!(parse_switch("yes"), Some(true));
+        assert_eq!(parse_switch("0"), Some(false));
+        assert_eq!(parse_switch("False"), Some(false));
+        assert_eq!(parse_switch("OFF"), Some(false));
+        assert_eq!(parse_switch("no"), Some(false));
+        assert_eq!(parse_switch("2"), None);
+        assert_eq!(parse_switch(""), None);
+        assert_eq!(parse_switch("enabled"), None);
     }
 
     #[test]

@@ -318,6 +318,17 @@ pub struct FusedUpdateNorms {
     pub r_norm_inf: f64,
 }
 
+impl FusedUpdateNorms {
+    /// Both norms are finite. Note the caveat of [`norm_inf`]: `f64::max`
+    /// ignores NaN operands, so a NaN element can hide behind a larger
+    /// finite one — an `Inf` always surfaces, but NaN detection must rely
+    /// on the dot-product scalars of the same iteration (where one NaN
+    /// poisons the whole sum).
+    pub fn all_finite(&self) -> bool {
+        self.p_norm_inf.is_finite() && self.r_norm_inf.is_finite()
+    }
+}
+
 /// One chunk of the fused CG update: `u ← u + α·p`, `r ← r + (−α)·kp`,
 /// returning `(max|p|, max|r_new|)` for the chunk. The per-element
 /// arithmetic and max logic replicate [`axpy`] and [`norm_inf`] exactly.
@@ -676,6 +687,22 @@ pub struct Dot3Norm {
     /// `‖r‖₂`, finished from the caller-provided `‖r‖∞` exactly like
     /// [`norm2_with_max`].
     pub r_norm2: f64,
+}
+
+impl Dot3Norm {
+    /// Every reduction scalar is finite. Dot products are the reliable
+    /// non-finite detectors of the fused kernels: one NaN/Inf element of
+    /// any input vector poisons its sum, whereas the ∞-norm max can
+    /// swallow a NaN behind a larger finite element. The solver loops
+    /// check this before consuming α/β so a corrupted carry is caught the
+    /// iteration it first feeds a reduction, while the iterate is still
+    /// finite.
+    pub fn all_finite(&self) -> bool {
+        self.rz.is_finite()
+            && self.wz.is_finite()
+            && self.ps.is_finite()
+            && self.r_norm2.is_finite()
+    }
 }
 
 /// Per-chunk kernel of [`fused_dot3_norm`]: three [`dot_chunk`]-identical
@@ -1212,5 +1239,34 @@ mod tests {
             assert_eq!(n1.to_bits(), norm2(&x).to_bits(), "norm2 at t = {t}");
         }
         crate::par::set_max_threads(before);
+    }
+
+    /// The fused reduction scalars are the solver's non-finite detectors:
+    /// one poisoned element must surface through `all_finite`.
+    #[test]
+    fn fused_reduction_scalars_detect_non_finite_elements() {
+        let n = 64usize;
+        let mut r: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let z: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let w: Vec<f64> = (0..n).map(|i| 0.5 - (i % 7) as f64 * 0.1).collect();
+        let p: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.2 - 0.3).collect();
+        let s: Vec<f64> = (0..n).map(|i| (i % 3) as f64 * 0.4 - 0.2).collect();
+        let clean = fused_dot3_norm(&r, &z, &w, &p, &s, norm_inf(&r));
+        assert!(clean.all_finite());
+        r[n / 2] = f64::NAN;
+        let poisoned = fused_dot3_norm(&r, &z, &w, &p, &s, 1.0);
+        assert!(!poisoned.all_finite(), "NaN in r must poison (r, z)");
+        r[n / 2] = f64::INFINITY;
+        let poisoned = fused_dot3_norm(&r, &z, &w, &p, &s, 1.0);
+        assert!(!poisoned.all_finite(), "Inf in r must poison (r, z)");
+
+        // The ∞-norm caveat the docs state: a NaN behind a larger finite
+        // element is swallowed by max, so FusedUpdateNorms::all_finite is
+        // a weaker (Inf-only) detector than the dot scalars.
+        let alpha = 0.5;
+        let mut u = vec![0.0; 4];
+        let mut rr = vec![1.0, f64::INFINITY, 3.0, 4.0];
+        let norms = fused_axpy_axpy_norm(alpha, &[1.0; 4], &[1.0; 4], &mut u, &mut rr);
+        assert!(!norms.all_finite(), "Inf residual element must surface");
     }
 }

@@ -146,6 +146,56 @@
 //!   per-solve allocation after warm-up and bitwise-standalone-identical
 //!   solutions. See `examples/multi_load_cases.rs`.
 //!
+//! ## Robustness
+//!
+//! `mspcg::core::recovery` makes every solver entry point fault-tolerant,
+//! with the same discipline as the performance work: every rescue is
+//! *counted*, every cost is *pinned*.
+//!
+//! * **Input validation** — a NaN/Inf right-hand side or initial guess is
+//!   rejected up front as `SparseError::NonFinite { phase, .. }`, a
+//!   nonpositive or non-finite tolerance as
+//!   `SparseError::InvalidTolerance`, before any kernel runs.
+//! * **Residual audit + replacement** — every `audit_period` iterations
+//!   the solver recomputes the TRUE residual `f − K·u` and compares it to
+//!   the recurrence residual. Deviation beyond
+//!   `max(10·tol, 10³·ε)·‖f‖` replaces the recurrence state from the
+//!   recomputed residual (van der Vorst/Ye-style). Cost model, asserted
+//!   by counter tests and recorded in `BENCH_pr6.json`: the SPMD audit is
+//!   ONE fused extra phase — **+1 barrier crossing, zero extra reduction
+//!   phases** — and a clean audited solve stays *bitwise identical* to
+//!   the unaudited run (an audit that finds no drift only observes).
+//!   Policy: `RecoveryPolicy` on `PcgOptions` / `ParallelSolverOptions`
+//!   (`Auto` enables auditing for the drift-prone single-reduction and
+//!   pipelined recurrences at tolerances ≤ 1e-11), with validated
+//!   `MSPCG_RESIDUAL_REPLACEMENT=0|1` / `MSPCG_AUDIT_PERIOD=n` env
+//!   overrides; the `par-recovery` CI job runs the whole suite under
+//!   forced replacement + pipelined + 4 threads.
+//! * **Recovery ladder** — a non-finite reduction scalar (or an audit
+//!   divergence in a recurrence schedule) walks Pipelined →
+//!   SingleReduction → Classic: the recurrence rungs are *detectors*
+//!   (they hand the current iterate down one rung, counted as a
+//!   `recovery`/`fallback`), the classic rung *self-heals in place*
+//!   (recompute `f − K·u`, re-derive the direction, counted as a
+//!   `replacement`, budget `max_replacements`); an exhausted budget
+//!   surfaces `SparseError::NonFinite { phase, iteration }` instead of
+//!   silent garbage. All of it lands in `PcgStats` /
+//!   `ParallelSolveReport` (`audits`, `replacements`, `recoveries`,
+//!   `faults_detected`), and per-RHS in `multi::SolveStatus::{Recovered,
+//!   Replaced}`.
+//! * **Fault injection, first-class** — `FaultyOp` /
+//!   `FaultyPreconditioner` wrap any operator/preconditioner with
+//!   application-indexed faults (bit-flips, NaN/Inf, scaled noise) for
+//!   the serial stack; `ParallelMStepPcg::solve_with_faults` takes an
+//!   iteration-indexed `FaultPlan` injected deterministically at every
+//!   thread count. The two models differ on purpose: a wrapper fault is
+//!   consumed once (lower rungs run clean), a plan fault is *persistent*
+//!   (it re-fires on every ladder rung, so the full walk is exercised —
+//!   a pipelined start under a NaN preconditioner fault proves exactly 3
+//!   detections, 2 step-downs, 1 classic in-place replacement).
+//!   `tests/fault_injection.rs` runs every variant × executor × family
+//!   under both fault classes with bitwise replay and exact counters.
+//!
 //! Measure with
 //! `cargo bench -p mspcg-bench --bench spmv -- --json BENCH_pr3.json`
 //! (CSR vs DIA vs SELL-C-σ, serial and parallel),

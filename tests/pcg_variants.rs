@@ -298,6 +298,9 @@ fn spmd_single_reduction_agrees_with_serial_and_reports_counters() {
                 tol: 1e-8,
                 max_iterations: 10_000,
                 variant: PcgVariant::SingleReduction,
+                // Pin the exact schedule: the barrier-count assertion
+                // below must not absorb audit phases from env overrides.
+                recovery: mspcg::core::recovery::RecoveryPolicy::off(),
             },
         )
         .expect("spmd");

@@ -245,6 +245,7 @@ fn every_variant_conforms_across_executors_families_and_formats() {
                     tol: TOL,
                     max_iterations: 50_000,
                     variant,
+                    ..Default::default()
                 };
                 for (fmt, solver) in [("csr", &spmd_csr), ("sellcs", &spmd_sell)] {
                     let label = format!("{}/spmd{threads}/{fmt}/{variant:?}", family.name);
