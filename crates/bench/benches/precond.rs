@@ -3,16 +3,27 @@
 //! the naive two-pass step — the paper's "one SSOR step costs one SOR
 //! sweep" claim, as a measured ablation; (c) serial vs pool-parallel
 //! m-step `msolve` on the 512×512 red/black Poisson problem — the
-//! per-color parallel sweep speedup.
+//! per-color parallel sweep speedup; (d) the barrier-free polynomial
+//! (Newton–Chebyshev) preconditioner vs m-step SSOR at **matched flops**
+//! (degree `2m` streams the matrix as often as `m` forward+backward
+//! sweeps): single-application cost, bitwise thread-count determinism of
+//! the chunked chain, and the full SPMD solve — iterations × barriers ×
+//! wall time per variant, with the exact degree-`k` barrier formulas
+//! (classic `k+3`, single-reduction `k+2`, pipelined `k+1` per
+//! iteration) *asserted* in-run, not just recorded.
 //!
 //! Record results: `cargo bench -p mspcg-bench --bench precond -- --json
-//! BENCH_pr1.json`.
+//! BENCH_pr8.json` (PR 1 recorded the sweep-only groups as
+//! `BENCH_pr1.json`).
 
 use mspcg_bench::experiments::{ordered_plate, ordered_poisson};
 use mspcg_bench::timing::{bench, finish, BenchResult};
+use mspcg_core::preconditioner::Preconditioner;
 use mspcg_core::splitting::Splitting;
 use mspcg_core::ssor::MulticolorSsor;
-use mspcg_sparse::par;
+use mspcg_core::{PcgVariant, PolynomialPreconditioner, RecoveryPolicy};
+use mspcg_parallel::{ParallelMStepPcg, ParallelSolverOptions};
+use mspcg_sparse::{par, PolyKind};
 use std::hint::black_box;
 
 fn bench_msolve_scaling(results: &mut Vec<BenchResult>) {
@@ -90,10 +101,152 @@ fn bench_serial_vs_parallel_msolve(results: &mut Vec<BenchResult>) {
     par::set_max_threads(hw);
 }
 
+/// (d1) Single application at matched flops: one degree-`2m` Chebyshev
+/// chain vs one m-step SSOR msolve on the plate. The polynomial streams
+/// the matrix the same number of times but crosses zero color-sweep
+/// synchronization points — serially the two should be in the same
+/// ballpark; the barrier ledger is what separates them under SPMD.
+fn bench_poly_vs_mstep_apply(results: &mut Vec<BenchResult>) {
+    let (_, ord) = ordered_plate(40).expect("plate");
+    let n = ord.matrix.rows();
+    let ssor = MulticolorSsor::new(ord.matrix.clone(), ord.colors.clone(), 1.0).expect("splitting");
+    let r: Vec<f64> = (0..n)
+        .map(|i| ((i * 7 + 3) % 23) as f64 * 0.05 - 0.5)
+        .collect();
+    let mut z = vec![0.0; n];
+    for m in [1usize, 2, 4] {
+        let alphas = vec![1.0; m];
+        results.push(bench("poly_vs_mstep_apply", &format!("mstep_m{m}"), || {
+            ssor.msolve(black_box(&alphas), black_box(&r), black_box(&mut z));
+        }));
+        let k = 2 * m;
+        let pre = PolynomialPreconditioner::chebyshev(ord.matrix.clone(), k).expect("poly");
+        let mut scratch = vec![0.0; pre.scratch_len()];
+        results.push(bench("poly_vs_mstep_apply", &format!("cheby_k{k}"), || {
+            pre.apply_with(black_box(&r), black_box(&mut z), black_box(&mut scratch));
+        }));
+    }
+}
+
+/// (d2) The chunk-determinism contract, asserted in-run: the serial
+/// polynomial application is **bitwise identical** at 1/2/4/8 kernel
+/// threads (fixed chunk boundaries, fixed combination order).
+fn bench_poly_thread_determinism(results: &mut Vec<BenchResult>) {
+    let (matrix, _, _) = ordered_poisson(256).expect("poisson 256");
+    let n = matrix.rows();
+    let pre = PolynomialPreconditioner::chebyshev(matrix, 4).expect("poly");
+    let r: Vec<f64> = (0..n)
+        .map(|i| ((i * 13 + 5) % 89) as f64 * 0.02 - 0.9)
+        .collect();
+    let mut z = vec![0.0; n];
+    let mut scratch = vec![0.0; pre.scratch_len()];
+    let hw = par::max_threads();
+    let mut reference: Option<Vec<u64>> = None;
+    for t in [1usize, 2, 4, 8] {
+        par::set_max_threads(t);
+        results.push(bench(
+            "poly_apply_poisson256_k4",
+            &format!("par{t}"),
+            || {
+                pre.apply_with(black_box(&r), black_box(&mut z), black_box(&mut scratch));
+            },
+        ));
+        let bits: Vec<u64> = z.iter().map(|v| v.to_bits()).collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(want) => assert_eq!(
+                want, &bits,
+                "polynomial apply is not bitwise thread-count deterministic at {t} threads"
+            ),
+        }
+    }
+    par::set_max_threads(hw);
+}
+
+/// (d3) The headline comparison: full SPMD solves on the plate, degree-4
+/// Chebyshev vs the flop-matched 2-step SSOR, per variant × thread
+/// count. Wall time is measured; `iterations`, `barriers_per_iter`,
+/// `reductions_per_iter` and `splits_per_iter` ride the record as
+/// extras, and the exact degree-`k` barrier formulas are asserted before
+/// anything is recorded.
+fn bench_poly_vs_mstep_spmd(results: &mut Vec<BenchResult>) {
+    let (_, ord) = ordered_plate(40).expect("plate");
+    let c = ord.colors.num_blocks();
+    let rhs = &ord.rhs;
+    let m = 2usize;
+    let k = 2 * m;
+    let sweep = m * (2 * c - 1);
+    let ssor = ParallelMStepPcg::new(&ord.matrix, &ord.colors, vec![1.0; m]).expect("spmd ssor");
+    let poly = ParallelMStepPcg::poly(&ord.matrix, &ord.colors, PolyKind::Chebyshev, k)
+        .expect("spmd poly");
+    for variant in [
+        PcgVariant::Classic,
+        PcgVariant::SingleReduction,
+        PcgVariant::Pipelined,
+    ] {
+        let vname = match variant {
+            PcgVariant::SingleReduction => "single_reduction",
+            PcgVariant::Pipelined => "pipelined",
+            _ => "classic",
+        };
+        for threads in [1usize, 4] {
+            let opts = ParallelSolverOptions {
+                threads,
+                tol: 1e-8,
+                max_iterations: 50_000,
+                variant,
+                recovery: RecoveryPolicy::off(),
+            };
+            let group = format!("poly_vs_mstep_spmd_plate40_{vname}");
+            for (label, solver, msolve_cost) in [("mstep_m2", &ssor, sweep), ("cheby_k4", &poly, k)]
+            {
+                let rep = solver.solve(rhs, &opts).expect("spmd solve");
+                assert!(rep.converged, "{group}/{label} did not converge");
+                assert_eq!(rep.variant, variant, "{group}/{label} fell back");
+                let i = rep.iterations;
+                // The degree-k chain must obey the same pinned formulas
+                // as the sweeps with `sweep → k` (pipelined pays one
+                // extra input-finalization barrier per overlap window).
+                let is_poly = matches!(solver.precond(), mspcg_sparse::PrecondKind::Poly { .. });
+                let expected = match variant {
+                    PcgVariant::SingleReduction => {
+                        msolve_cost + 1 + (i - 1) * (msolve_cost + 2) + 1
+                    }
+                    PcgVariant::Pipelined => {
+                        if is_poly {
+                            (i + 2) * k + i + 1
+                        } else {
+                            (i + 2) * msolve_cost
+                        }
+                    }
+                    _ => msolve_cost + (i - 1) * (msolve_cost + 3) + 2,
+                };
+                assert_eq!(
+                    rep.barrier_crossings, expected,
+                    "{group}/{label}: barrier schedule changed (threads = {threads})"
+                );
+                let iters = i as f64;
+                let run = bench(&group, &format!("{label}_t{threads}"), || {
+                    black_box(solver.solve(black_box(rhs), &opts).expect("spmd solve"));
+                })
+                .with_extra("iterations", iters)
+                .with_extra("barriers_per_iter", rep.barrier_crossings as f64 / iters)
+                .with_extra("reductions_per_iter", rep.reduction_phases as f64 / iters)
+                .with_extra("splits_per_iter", rep.split_crossings as f64 / iters)
+                .with_extra("colors", c as f64);
+                results.push(run);
+            }
+        }
+    }
+}
+
 fn main() {
     let mut results = Vec::new();
     bench_msolve_scaling(&mut results);
     bench_conrad_wallach(&mut results);
     bench_serial_vs_parallel_msolve(&mut results);
+    bench_poly_vs_mstep_apply(&mut results);
+    bench_poly_thread_determinism(&mut results);
+    bench_poly_vs_mstep_spmd(&mut results);
     finish(&results);
 }

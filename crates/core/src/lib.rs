@@ -22,6 +22,11 @@
 //!   Conrad–Wallach auxiliary-vector optimization (paper Algorithm 2),
 //! * [`mstep`] — the m-step preconditioner (Horner evaluation of the
 //!   polynomial in `G`), parametrized or not,
+//! * [`poly`] — the barrier-free **polynomial (Newton–Chebyshev)
+//!   preconditioner** on the Lanczos-estimated spectrum of the
+//!   Jacobi-scaled operator: `k` SpMVs per application, zero color-sweep
+//!   synchronization, with the [`poly::AutoPreconditioner`] selector
+//!   (`MSPCG_PRECOND`) choosing between it and the m-step SSOR,
 //! * [`coeffs`] — least-squares and min-max α coefficients
 //!   (Johnson–Micchelli–Paul parametrization, §2.2, Table 1),
 //! * [`quadrature`] — Gauss–Legendre rules used by the least-squares fit,
@@ -47,6 +52,7 @@ pub mod ic;
 pub mod mstep;
 pub mod multi;
 pub mod pcg;
+pub mod poly;
 pub mod preconditioner;
 pub mod quadrature;
 pub mod recovery;
@@ -61,6 +67,7 @@ pub use pcg::{
     cg_solve, pcg_solve, pcg_solve_into, pcg_try_solve_into, PcgOptions, PcgReport, PcgSolution,
     PcgVariant, PcgWorkspace, StoppingCriterion,
 };
+pub use poly::{auto_preconditioner, AutoPreconditioner, PolySchedule, PolynomialPreconditioner};
 pub use preconditioner::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};
 pub use recovery::{
     ApplicationFault, FaultKind, FaultPlan, FaultTarget, FaultyOp, FaultyPreconditioner,

@@ -97,6 +97,29 @@
 //! single-reduction schedule (every nonpositive scalar → classic rerun).
 //! [`ParallelSolveReport::split_crossings`] measures the in-flight
 //! reductions; the exact-formula counter test pins the whole schedule.
+//!
+//! ## Polynomial msolve (barrier-free preconditioning)
+//!
+//! Every schedule above pays `m·(2C−1)` color-sweep barriers per m-step
+//! SSOR application — the dominant synchronization term for realistic
+//! color counts. [`ParallelMStepPcg::poly`] swaps the sweeps for the
+//! degree-`k` **polynomial preconditioner** of `mspcg_core::poly`
+//! (Newton or Chebyshev on the Lanczos-estimated spectrum of the
+//! Jacobi-scaled operator): `z = p(D⁻¹K)·D⁻¹r` evaluated as `k` fused
+//! SpMV phases, **one full barrier each and zero color sweeps** — the
+//! msolve term drops from `m·(2C−1)` to `k` on every schedule. The
+//! recurrence seed is folded into the first SpMV (accumulated on the fly
+//! from the msolve input), the `(z, r)` partial and `p⁰` copy into the
+//! last, and the iterate banks alternate between the caller's vector and
+//! one scratch bank so a phase's cross-strip SpMV reads never race the
+//! next phase's writes. The exact-formula counter test pins the
+//! resulting schedules: per iteration, classic `k + 3` barriers,
+//! single-reduction `k + 2`, pipelined `k + 1` (the `+1` is the barrier
+//! the cross-strip SpMV input needs where the SSOR sweeps read own-strip
+//! only) with the one split crossing unchanged.
+//! [`ParallelMStepPcg::auto`] picks between sweeps and polynomial via
+//! [`PrecondKind::resolve`] (the validated `MSPCG_PRECOND` override or
+//! the barrier-cost heuristic).
 
 use crate::barrier::{SpinBarrier, SplitBarrier};
 use crate::shared::{slot, ScalarBank, SharedVec};
@@ -104,7 +127,8 @@ use mspcg_core::recovery::{
     audit_due, diverged, perturb, replacement_bound, FaultKind, FaultPlan, FaultTarget,
     RecoveryPolicy,
 };
-use mspcg_sparse::{vecops, Partition, PcgVariant, SparseError, SparseOp};
+use mspcg_core::PolySchedule;
+use mspcg_sparse::{vecops, Partition, PcgVariant, PolyKind, PrecondKind, SparseError, SparseOp};
 use std::sync::Arc;
 
 /// Options for the threaded solver.
@@ -287,6 +311,25 @@ pub struct ParallelMStepPcg {
     /// own-block start / end.
     lo_split: Vec<usize>,
     hi_split: Vec<usize>,
+    /// Polynomial msolve configuration (barrier-free alternative to the
+    /// SSOR sweeps; mutually exclusive with nonempty `alphas`).
+    poly: Option<ParPoly>,
+}
+
+/// The polynomial msolve's precomputed schedule, replicated read-only
+/// into every worker — the scalars of the serial
+/// [`mspcg_core::PolynomialPreconditioner`] over the same operator.
+struct ParPoly {
+    kind: PolyKind,
+    schedule: PolySchedule,
+}
+
+/// Shared scratch of the polynomial msolve (zero-length when the
+/// configuration runs SSOR sweeps or plain CG): the difference carry `d`
+/// and the second iterate bank `zb` of the two-bank rotation.
+struct PolyScratch<'a> {
+    d: &'a SharedVec,
+    zb: &'a SharedVec,
 }
 
 impl ParallelMStepPcg {
@@ -377,12 +420,79 @@ impl ParallelMStepPcg {
             values,
             lo_split,
             hi_split,
+            poly: None,
         })
+    }
+
+    /// Build the **barrier-free polynomial** configuration: the plain-CG
+    /// phase structure with a degree-`degree` polynomial msolve on the
+    /// Lanczos-estimated spectrum of the Jacobi-scaled operator — the
+    /// SPMD counterpart of [`mspcg_core::PolynomialPreconditioner`],
+    /// sharing its spectrum recipe and schedule scalars (and therefore
+    /// its cached-interval determinism: two instances over the same
+    /// operator replay bitwise).
+    ///
+    /// # Errors
+    /// The construction errors of [`ParallelMStepPcg::new`], plus the
+    /// spectrum-estimation and schedule-validation errors of
+    /// [`mspcg_core::PolySchedule`] (zero degree, nonpositive interval).
+    pub fn poly<A: SparseOp>(
+        matrix: &A,
+        colors: &Partition,
+        kind: PolyKind,
+        degree: usize,
+    ) -> Result<Self, SparseError> {
+        let mut base = Self::shared(matrix, Arc::new(colors.clone()), Vec::new())?;
+        let interval = mspcg_core::poly::jacobi_spectrum(matrix, &base.inv_diag)?;
+        let schedule = PolySchedule::new(kind, interval.min, interval.max, degree)?;
+        base.poly = Some(ParPoly { kind, schedule });
+        Ok(base)
+    }
+
+    /// Resolve `selection` — the validated `MSPCG_PRECOND` override for
+    /// [`PrecondKind::Auto`], else the barrier-cost heuristic of
+    /// [`PrecondKind::resolve`] — and build the chosen SPMD
+    /// configuration: the SPMD counterpart of
+    /// [`mspcg_core::auto_preconditioner`].
+    ///
+    /// # Errors
+    /// The chosen constructor's errors.
+    pub fn auto<A: SparseOp>(
+        matrix: &A,
+        colors: &Partition,
+        m_default: usize,
+        selection: PrecondKind,
+    ) -> Result<Self, SparseError> {
+        match selection.resolve(colors.num_blocks(), m_default) {
+            PrecondKind::Auto => unreachable!("resolve never returns Auto"),
+            PrecondKind::MStepSsor { m } => Self::new(matrix, colors, vec![1.0; m]),
+            PrecondKind::Poly { kind, degree } => Self::poly(matrix, colors, kind, degree),
+        }
+    }
+
+    /// The preconditioner this instance applies — never
+    /// [`PrecondKind::Auto`]; `MStepSsor { m: 0 }` is plain CG.
+    pub fn precond(&self) -> PrecondKind {
+        match &self.poly {
+            Some(p) => PrecondKind::Poly {
+                kind: p.kind,
+                degree: p.schedule.degree(),
+            },
+            None => PrecondKind::MStepSsor {
+                m: self.alphas.len(),
+            },
+        }
     }
 
     /// Number of preconditioner steps (0 = plain CG).
     pub fn m(&self) -> usize {
         self.alphas.len()
+    }
+
+    /// Whether this configuration runs with **no** preconditioner phase
+    /// at all (plain CG): no SSOR coefficients and no polynomial.
+    fn no_msolve(&self) -> bool {
+        self.alphas.is_empty() && self.poly.is_none()
     }
 
     /// System dimension.
@@ -540,7 +650,7 @@ impl ParallelMStepPcg {
         }
         let single_reduction = variant == PcgVariant::SingleReduction;
         let pipelined = variant == PcgVariant::Pipelined;
-        let m_zero = self.alphas.is_empty();
+        let m_zero = self.no_msolve();
         let threads = self.resolve_threads(opts.threads);
 
         // Contiguous ownership strips.
@@ -576,6 +686,12 @@ impl ParallelMStepPcg {
         let mv0 = SharedVec::zeros(if pipelined && !m_zero { n } else { 0 });
         let mv1 = SharedVec::zeros(if pipelined && !m_zero { n } else { 0 });
         let w1 = SharedVec::zeros(if pipelined && m_zero { n } else { 0 });
+        // Polynomial msolve scratch: the difference carry `d` (own-strip
+        // only) and the second iterate bank `zb` of the two-bank rotation
+        // (read cross-strip by the chained SpMVs). Zero-length for the
+        // sweep and plain-CG configurations.
+        let poly_d = SharedVec::zeros(if self.poly.is_some() { n } else { 0 });
+        let poly_zb = SharedVec::zeros(if self.poly.is_some() { n } else { 0 });
         // Rotating partial banks: a phase's partial writes must never
         // alias a straggler's replicated-reduction reads of the previous
         // bank (at least one barrier always separates a bank's readers
@@ -619,6 +735,10 @@ impl ParallelMStepPcg {
         //  replacements, faults_detected]
         let iters_out = SharedVec::zeros(6);
 
+        let pscr = PolyScratch {
+            d: &poly_d,
+            zb: &poly_zb,
+        };
         std::thread::scope(|s| {
             for t in 0..threads {
                 let strip = strips[t].clone();
@@ -626,7 +746,7 @@ impl ParallelMStepPcg {
                     (&u, &r, &z, &p, &kp, &y, &w, &bank, &barrier, &iters_out);
                 let (dot_partials, change_partials, rz_partials, ps_partials) =
                     (&dot_partials, &change_partials, &rz_partials, &ps_partials);
-                let (pl, split) = (&pl, &split);
+                let (pl, split, pscr) = (&pl, &split, &pscr);
                 let (aud, dev_partials) = (&aud, &dev_partials);
                 let this = &*self;
                 // `serialized` pins the shared kernels to this worker:
@@ -639,6 +759,7 @@ impl ParallelMStepPcg {
                                 t,
                                 strip,
                                 pl,
+                                pscr,
                                 f,
                                 aud,
                                 dev_partials,
@@ -661,6 +782,7 @@ impl ParallelMStepPcg {
                                 kp,
                                 y,
                                 w,
+                                pscr,
                                 dot_partials,
                                 change_partials,
                                 rz_partials,
@@ -685,6 +807,7 @@ impl ParallelMStepPcg {
                                 p,
                                 kp,
                                 y,
+                                pscr,
                                 dot_partials,
                                 change_partials,
                                 rz_partials,
@@ -774,6 +897,7 @@ impl ParallelMStepPcg {
         p: &SharedVec,
         kp: &SharedVec,
         y: &SharedVec,
+        pscr: &PolyScratch<'_>,
         dot_partials: &SharedVec,
         change_partials: &SharedVec,
         rz_partials: &SharedVec,
@@ -826,7 +950,20 @@ impl ParallelMStepPcg {
                         return;
                     }
                     replacements += 1;
-                    $rz = self.reinit_phase(&own, t, f, u, r, z, p, y, rz_partials, barrier, None);
+                    $rz = self.reinit_phase(
+                        &own,
+                        t,
+                        f,
+                        u,
+                        r,
+                        z,
+                        p,
+                        y,
+                        pscr,
+                        rz_partials,
+                        barrier,
+                        None,
+                    );
                     phases += 1;
                     if $rz.is_finite() {
                         break;
@@ -850,7 +987,7 @@ impl ParallelMStepPcg {
 
         // --- init: z = M⁻¹ r, with p ← z and the (z, r) partial fused
         // into the preconditioner's final color phase — no extra barriers.
-        self.msolve_phases(&own, t, r, z, y, Some(p), Some(rz_partials), barrier);
+        self.msolve_phases(&own, t, r, z, y, pscr, Some(p), Some(rz_partials), barrier);
         self.inject_msolve_fault(plan, 0, &own, z, Some(p), barrier);
         let mut rz: f64 = unsafe { rz_partials.read().iter().sum() };
         phases += 1;
@@ -900,6 +1037,7 @@ impl ParallelMStepPcg {
                         z,
                         p,
                         y,
+                        pscr,
                         rz_partials,
                         barrier,
                         Some(aud),
@@ -991,7 +1129,7 @@ impl ParallelMStepPcg {
             }
 
             // --- z = M⁻¹ r, (z, r) partial fused into the final phase --------
-            self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
+            self.msolve_phases(&own, t, r, z, y, pscr, None, Some(rz_partials), barrier);
             self.inject_msolve_fault(plan, iter, &own, z, None, barrier);
 
             // --- β (replicated) ---------------------------------------------
@@ -1039,6 +1177,7 @@ impl ParallelMStepPcg {
         s: &SharedVec,
         y: &SharedVec,
         w: &SharedVec,
+        pscr: &PolyScratch<'_>,
         wz_partials: &SharedVec,
         change_partials: &SharedVec,
         rz_partials: &SharedVec,
@@ -1054,7 +1193,7 @@ impl ParallelMStepPcg {
         opts: &ParallelSolverOptions,
     ) {
         let own = strip.clone();
-        let m_zero = self.alphas.is_empty();
+        let m_zero = self.no_msolve();
         let mut phases = 0usize;
         let mut audits = 0usize;
         let mut faults = 0usize;
@@ -1084,7 +1223,7 @@ impl ParallelMStepPcg {
         // final color phase; for m = 0, z ≡ r and the (r, r) partial
         // rides the w phase instead.
         if !m_zero {
-            self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
+            self.msolve_phases(&own, t, r, z, y, pscr, None, Some(rz_partials), barrier);
             self.inject_msolve_fault(plan, 0, &own, z, None, barrier);
         }
         self.w_phase(
@@ -1208,7 +1347,7 @@ impl ParallelMStepPcg {
             // --- z = M⁻¹ r, (z, r) partial fused into the final phase,
             // then w = K z ⊕ (w, z) — THE reduction phase ---------------------
             if !m_zero {
-                self.msolve_phases(&own, t, r, z, y, None, Some(rz_partials), barrier);
+                self.msolve_phases(&own, t, r, z, y, pscr, None, Some(rz_partials), barrier);
                 self.inject_msolve_fault(plan, iter, &own, z, None, barrier);
             }
             self.w_phase(
@@ -1287,6 +1426,7 @@ impl ParallelMStepPcg {
         t: usize,
         strip: std::ops::Range<usize>,
         vecs: &PipelinedVecs<'_>,
+        pscr: &PolyScratch<'_>,
         f: &[f64],
         aud: &SharedVec,
         dev_partials: &SharedVec,
@@ -1299,7 +1439,7 @@ impl ParallelMStepPcg {
         opts: &ParallelSolverOptions,
     ) {
         let own = strip;
-        let m_zero = self.alphas.is_empty();
+        let m_zero = self.no_msolve();
         let mut phases = 0usize;
         let mut audits = 0usize;
         let mut faults = 0usize;
@@ -1335,6 +1475,7 @@ impl ParallelMStepPcg {
                 vecs.r,
                 vecs.z,
                 vecs.y,
+                pscr,
                 None,
                 Some(vecs.gamma[0]),
                 barrier,
@@ -1351,10 +1492,17 @@ impl ParallelMStepPcg {
                 vecs.delta[0].write_at(t, vecops::dot(&zv[own.clone()], out));
             }
             let ticket = split.arrive();
-            // The msolve reads its input w⁰ at own rows only — no barrier.
+            // The sweep msolve reads its input w⁰ at own rows only — no
+            // barrier. The polynomial msolve's fused first phase reads w⁰
+            // cross-strip, so it needs w⁰ finalized: one extra barrier.
             // The auxiliary mv⁰ is not a fault target: the planned msolve
             // fault at iteration 0 lands in z⁰ above.
-            self.msolve_phases(&own, t, vecs.w[0], vecs.mv[0], vecs.y, None, None, barrier);
+            if self.poly.is_some() {
+                barrier.wait();
+            }
+            self.msolve_phases(
+                &own, t, vecs.w[0], vecs.mv[0], vecs.y, pscr, None, None, barrier,
+            );
             unsafe {
                 let mvv = vecs.mv[0].read();
                 let out = vecs.nv.write(own.clone());
@@ -1535,7 +1683,23 @@ impl ParallelMStepPcg {
                     }
                 }
             } else {
-                self.msolve_phases(&own, t, vecs.w[0], vecs.mv[pk], vecs.y, None, None, barrier);
+                // The polynomial msolve's fused first phase reads its
+                // input w cross-strip (the sweep reads own-strip): one
+                // extra barrier after the own-strip update above.
+                if self.poly.is_some() {
+                    barrier.wait();
+                }
+                self.msolve_phases(
+                    &own,
+                    t,
+                    vecs.w[0],
+                    vecs.mv[pk],
+                    vecs.y,
+                    pscr,
+                    None,
+                    None,
+                    barrier,
+                );
                 self.inject_msolve_fault(plan, iter, &own, vecs.mv[pk], None, barrier);
                 unsafe {
                     let mvv = vecs.mv[pk].read();
@@ -1603,6 +1767,8 @@ impl ParallelMStepPcg {
     /// No barrier precedes the `r` overwrite: every entry point has just
     /// consumed a replicated scalar (all workers are past its publishing
     /// barrier), and the classic schedule never reads `r` cross-strip.
+    /// The polynomial msolve *does* read `r` cross-strip in its fused
+    /// first phase, so one extra barrier separates the overwrite from it.
     #[allow(clippy::too_many_arguments)]
     fn reinit_phase(
         &self,
@@ -1614,6 +1780,7 @@ impl ParallelMStepPcg {
         z: &SharedVec,
         p: &SharedVec,
         y: &SharedVec,
+        pscr: &PolyScratch<'_>,
         rz_partials: &SharedVec,
         barrier: &SpinBarrier,
         fresh: Option<&SharedVec>,
@@ -1634,7 +1801,10 @@ impl ParallelMStepPcg {
                 }
             }
         }
-        self.msolve_phases(own, t, r, z, y, Some(p), Some(rz_partials), barrier);
+        if self.poly.is_some() {
+            barrier.wait();
+        }
+        self.msolve_phases(own, t, r, z, y, pscr, Some(p), Some(rz_partials), barrier);
         unsafe { rz_partials.read().iter().sum() }
     }
 
@@ -1764,10 +1934,15 @@ impl ParallelMStepPcg {
         r: &SharedVec,
         z: &SharedVec,
         y: &SharedVec,
+        pscr: &PolyScratch<'_>,
         p0: Option<&SharedVec>,
         rz_partials: Option<&SharedVec>,
         barrier: &SpinBarrier,
     ) {
+        if let Some(poly) = &self.poly {
+            self.poly_msolve_phases(poly, own, t, r, z, y, pscr, p0, rz_partials, barrier);
+            return;
+        }
         // Tail fused into the final phase, before its barrier. SAFETY of
         // the reads: only own-strip elements of z are touched, and all of
         // them were written by this worker (ownership is strip ∩ color);
@@ -1849,6 +2024,111 @@ impl ParallelMStepPcg {
                 }
                 barrier.wait();
             }
+        }
+    }
+
+    /// Barrier-free polynomial msolve `z ← p(G)·D⁻¹r`, `G = D⁻¹K`:
+    /// exactly `degree` fused SpMV phases, one full barrier each, **zero
+    /// color sweeps**.
+    ///
+    /// Phase 1 folds the recurrence seed (`z₀ = s₀·D⁻¹r`, `d₀ = z₀`) into
+    /// the first SpMV: `K·z₀` is accumulated on the fly from the input
+    /// `r` — a cross-strip read, which every call site guarantees is
+    /// separated from the last write of `r` by a barrier (the sweep
+    /// msolve reads `r` own-strip only, so the pipelined schedule and the
+    /// restart path insert one extra barrier for the polynomial — counted
+    /// in the pinned formulas). Each phase then applies one difference
+    /// step own-strip — the `vecops::poly_step_chunk` arithmetic, term
+    /// for term, so the chain is bitwise identical to the serial
+    /// [`mspcg_core::PolynomialPreconditioner`] on identical inputs.
+    ///
+    /// The iterate banks alternate between the caller's `z` and the
+    /// scratch bank `zb`, phased so the **final** step lands in the
+    /// caller's vector (`z` is written by phase `j` iff `k − j` is even).
+    /// A phase's SpMV reads the previous phase's bank cross-strip; the
+    /// next write of that bank is separated from those reads by the
+    /// intervening phase barrier — the same two-bank discipline as the
+    /// pipelined schedule's parity rotation. The difference carry `d` and
+    /// the `K·z` strip (parked in the SSOR half-sum cache `y`, which the
+    /// polynomial path never touches) are own-strip only. The `(z, r)`
+    /// partial and the init `p⁰ ← z` copy fuse into the final phase
+    /// before its barrier, exactly like the sweep tail.
+    #[allow(clippy::too_many_arguments)]
+    fn poly_msolve_phases(
+        &self,
+        poly: &ParPoly,
+        own: &std::ops::Range<usize>,
+        t: usize,
+        r: &SharedVec,
+        z: &SharedVec,
+        y: &SharedVec,
+        pscr: &PolyScratch<'_>,
+        p0: Option<&SharedVec>,
+        rz_partials: Option<&SharedVec>,
+        barrier: &SpinBarrier,
+    ) {
+        let scale0 = poly.schedule.scale0();
+        let steps = poly.schedule.steps();
+        let k = steps.len();
+        let (d, zb) = (pscr.d, pscr.zb);
+        for (step, &(aj, bj)) in steps.iter().enumerate() {
+            let j = step + 1;
+            let to_z = (k - j).is_multiple_of(2);
+            unsafe {
+                let rv = r.read();
+                let kz = y.write(own.clone());
+                if j == 1 {
+                    // kz = K·z₀ with z₀ = scale₀·D⁻¹r formed on the fly
+                    // (the same expression as the seed below, so the
+                    // virtual z₀ is consistent across both uses).
+                    for (o, i) in own.clone().enumerate() {
+                        let mut acc = 0.0;
+                        for e in self.row_ptr[i]..self.row_ptr[i + 1] {
+                            let c = self.col_idx[e] as usize;
+                            acc += self.values[e] * (scale0 * self.inv_diag[c] * rv[c]);
+                        }
+                        kz[o] = acc;
+                    }
+                } else {
+                    let prev = if to_z { zb.read() } else { z.read() };
+                    self.strip_spmv(prev, kz, own.clone());
+                }
+                let dv = d.write(own.clone());
+                let out = if to_z {
+                    z.write(own.clone())
+                } else {
+                    zb.write(own.clone())
+                };
+                if j == 1 {
+                    // Seed and first step in one own-strip pass.
+                    for (o, i) in own.clone().enumerate() {
+                        let zi = scale0 * self.inv_diag[i] * rv[i];
+                        let resid = self.inv_diag[i] * (rv[i] - kz[o]);
+                        let di = aj * zi + bj * resid;
+                        dv[o] = di;
+                        out[o] = zi + di;
+                    }
+                } else {
+                    let prev = if to_z { zb.read() } else { z.read() };
+                    for (o, i) in own.clone().enumerate() {
+                        let resid = self.inv_diag[i] * (rv[i] - kz[o]);
+                        let di = aj * dv[o] + bj * resid;
+                        dv[o] = di;
+                        out[o] = prev[i] + di;
+                    }
+                }
+                if j == k {
+                    // Fused tail: z was fully written own-strip above.
+                    let zs = z.read();
+                    if let Some(p) = p0 {
+                        p.write(own.clone()).copy_from_slice(&zs[own.clone()]);
+                    }
+                    if let Some(bank) = rz_partials {
+                        bank.write_at(t, vecops::dot(&zs[own.clone()], &rv[own.clone()]));
+                    }
+                }
+            }
+            barrier.wait();
         }
     }
 
@@ -2686,5 +2966,219 @@ mod tests {
             .iter()
             .zip(&r2.x)
             .all(|(u, v)| u.to_bits() == v.to_bits()));
+    }
+
+    // ------------------- polynomial msolve ------------------------------
+
+    #[test]
+    fn poly_matches_sequential_polynomial_solver() {
+        let (a, colors, rhs) = plate(8);
+        let par = ParallelMStepPcg::poly(&a, &colors, PolyKind::Chebyshev, 4).unwrap();
+        assert_eq!(
+            par.precond(),
+            PrecondKind::Poly {
+                kind: PolyKind::Chebyshev,
+                degree: 4
+            }
+        );
+        let rep = par
+            .solve(&rhs, &variant_opts(PcgVariant::Classic, 4, 1e-8))
+            .unwrap();
+        let pre = mspcg_core::PolynomialPreconditioner::chebyshev(a.clone(), 4).unwrap();
+        let seq = pcg_solve(
+            &a,
+            &rhs,
+            &pre,
+            &PcgOptions {
+                tol: 1e-8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rep.converged);
+        assert!(
+            (rep.iterations as isize - seq.iterations as isize).abs() <= 2,
+            "par {} vs seq {}",
+            rep.iterations,
+            seq.iterations
+        );
+        for (u, v) in rep.x.iter().zip(&seq.x) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    /// The acceptance gate of the polynomial msolve, by exact formula: a
+    /// degree-`k` application costs exactly `k` full-barrier crossings
+    /// (one fused SpMV phase each) — **zero color sweeps** — so the
+    /// per-iteration budgets are the sweep formulas with `sweep → k`,
+    /// plus one extra input-finalization barrier per overlap window on
+    /// the pipelined schedule (the fused first phase reads its input
+    /// cross-strip where the sweep reads own-strip):
+    ///
+    /// * classic: `k + (I−1)(k+3) + 2` crossings, `2I` reduction phases,
+    /// * single-reduction: `k+1 + (I−1)(k+2) + 1` crossings, `I` phases,
+    /// * pipelined: `(I+2)k + I + 1` spin crossings (init `2k+1`, each
+    ///   iteration `k+1`), `I+1` split crossings, `I+1` phases.
+    #[test]
+    fn barrier_counter_proves_polynomial_schedule() {
+        let (a, colors, rhs) = plate(8);
+        for k in [2usize, 4] {
+            let par = ParallelMStepPcg::poly(&a, &colors, PolyKind::Chebyshev, k).unwrap();
+            for threads in [1usize, 4] {
+                let classic = par
+                    .solve(&rhs, &variant_opts(PcgVariant::Classic, threads, 1e-8))
+                    .unwrap();
+                let sr = par
+                    .solve(
+                        &rhs,
+                        &variant_opts(PcgVariant::SingleReduction, threads, 1e-8),
+                    )
+                    .unwrap();
+                let pl = par
+                    .solve(&rhs, &variant_opts(PcgVariant::Pipelined, threads, 1e-8))
+                    .unwrap();
+                assert!(classic.converged && sr.converged && pl.converged);
+                assert_eq!(classic.variant, PcgVariant::Classic);
+                assert_eq!(
+                    sr.variant,
+                    PcgVariant::SingleReduction,
+                    "fell back, k = {k}, threads = {threads}"
+                );
+                assert_eq!(
+                    pl.variant,
+                    PcgVariant::Pipelined,
+                    "fell back, k = {k}, threads = {threads}"
+                );
+                let (ic, is, ip) = (classic.iterations, sr.iterations, pl.iterations);
+                assert!(ic >= 1 && is >= 1 && ip >= 1);
+                assert_eq!(
+                    classic.barrier_crossings,
+                    k + (ic - 1) * (k + 3) + 2,
+                    "classic poly barrier count, k = {k}, threads = {threads}"
+                );
+                assert_eq!(classic.reduction_phases, 2 * ic);
+                assert_eq!(classic.split_crossings, 0);
+                assert_eq!(
+                    sr.barrier_crossings,
+                    k + 1 + (is - 1) * (k + 2) + 1,
+                    "single-reduction poly barrier count, k = {k}, threads = {threads}"
+                );
+                assert_eq!(sr.reduction_phases, is);
+                assert_eq!(sr.split_crossings, 0);
+                assert_eq!(
+                    pl.barrier_crossings,
+                    (ip + 2) * k + ip + 1,
+                    "pipelined poly spin count, k = {k}, threads = {threads}"
+                );
+                assert_eq!(pl.split_crossings, ip + 1);
+                assert_eq!(pl.reduction_phases, ip + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn poly_is_deterministic_and_format_insensitive() {
+        let (a, colors, rhs) = plate(7);
+        let sell = mspcg_sparse::SellCsMatrix::from_csr_default(&a);
+        let par_csr = ParallelMStepPcg::poly(&a, &colors, PolyKind::Chebyshev, 3).unwrap();
+        let par_sell = ParallelMStepPcg::poly(&sell, &colors, PolyKind::Chebyshev, 3).unwrap();
+        for variant in [
+            PcgVariant::Classic,
+            PcgVariant::SingleReduction,
+            PcgVariant::Pipelined,
+        ] {
+            let opts = variant_opts(variant, 4, 1e-8);
+            let r1 = par_csr.solve(&rhs, &opts).unwrap();
+            let r2 = par_csr.solve(&rhs, &opts).unwrap();
+            // Bitwise reproducible within the variant.
+            assert_eq!(r1.iterations, r2.iterations, "{variant:?}");
+            assert_eq!(r1.x, r2.x, "{variant:?}");
+            // And across storage formats: the SELL-C-σ row kernel is
+            // bitwise the CSR row loop, so the Lanczos interval, the
+            // schedule, and every iterate replay exactly.
+            let rs = par_sell.solve(&rhs, &opts).unwrap();
+            assert_eq!(r1.iterations, rs.iterations, "{variant:?}");
+            assert!(
+                r1.x.iter()
+                    .zip(&rs.x)
+                    .all(|(u, v)| u.to_bits() == v.to_bits()),
+                "format divergence under {variant:?}"
+            );
+        }
+    }
+
+    /// The recovery ladder treats a poisoned polynomial msolve exactly
+    /// like a poisoned sweep: same detection points, same rung walk,
+    /// same counters.
+    #[test]
+    fn poly_schedules_walk_the_ladder_under_persistent_fault() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::poly(&a, &colors, PolyKind::Chebyshev, 2).unwrap();
+        let exact = exact_solution(&a, &rhs);
+        for (variant, final_variant, counters) in [
+            (PcgVariant::Classic, PcgVariant::Classic, (1, 1, 0)),
+            (PcgVariant::SingleReduction, PcgVariant::Classic, (2, 1, 1)),
+            (PcgVariant::Pipelined, PcgVariant::Classic, (3, 1, 2)),
+        ] {
+            let rep = par
+                .solve_with_faults(&rhs, &variant_opts(variant, 4, 1e-8), &nan_msolve_at(2))
+                .unwrap();
+            assert!(rep.converged, "{variant:?}");
+            assert_eq!(rep.variant, final_variant, "{variant:?}");
+            assert_eq!(
+                (rep.faults_detected, rep.replacements, rep.recoveries),
+                counters,
+                "{variant:?}"
+            );
+            for (x, v) in rep.x.iter().zip(&exact) {
+                assert!((x - v).abs() < 1e-5, "{x} vs {v} under {variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_constructor_respects_pins_and_heuristic() {
+        let (a, colors, rhs) = plate(6);
+        // Pinned selections pass through the auto constructor verbatim.
+        let ssor = ParallelMStepPcg::auto(&a, &colors, 2, PrecondKind::MStepSsor { m: 3 }).unwrap();
+        assert_eq!(ssor.precond(), PrecondKind::MStepSsor { m: 3 });
+        let poly = ParallelMStepPcg::auto(
+            &a,
+            &colors,
+            2,
+            PrecondKind::Poly {
+                kind: PolyKind::Newton,
+                degree: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            poly.precond(),
+            PrecondKind::Poly {
+                kind: PolyKind::Newton,
+                degree: 5
+            }
+        );
+        // Auto defers to the environment pin when one is set, else the
+        // barrier-cost heuristic — assert the heuristic only when the
+        // ambient environment leaves Auto unpinned.
+        if mspcg_sparse::tuning::forced_precond().is_none() {
+            let auto = ParallelMStepPcg::auto(&a, &colors, 2, PrecondKind::Auto).unwrap();
+            assert_eq!(
+                auto.precond(),
+                PrecondKind::Auto.resolve(colors.num_blocks(), 2)
+            );
+        }
+        // Both pinned solvers reach the true solution.
+        let exact = exact_solution(&a, &rhs);
+        for par in [&ssor, &poly] {
+            let rep = par
+                .solve(&rhs, &variant_opts(PcgVariant::Classic, 2, 1e-8))
+                .unwrap();
+            assert!(rep.converged);
+            for (x, v) in rep.x.iter().zip(&exact) {
+                assert!((x - v).abs() < 1e-5, "{x} vs {v}");
+            }
+        }
     }
 }

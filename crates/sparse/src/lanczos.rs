@@ -28,8 +28,17 @@ pub struct SpectralInterval {
 impl SpectralInterval {
     /// Widen the interval by relative `margin` on both sides (safeguard for
     /// the Ritz-value under-estimation of the extreme eigenvalues).
+    ///
+    /// The widening span never collapses: a degenerate interval
+    /// (`λmin ≈ λmax`, e.g. a scaled identity, a 1×1 operator, or an early
+    /// invariant-subspace break) falls back to a relative floor of `1e-3`
+    /// of the largest eigenvalue magnitude, and an all-zero interval to an
+    /// absolute floor — so for any `margin > 0` the result strictly
+    /// brackets the input (`min < max`), which downstream consumers
+    /// (Chebyshev-interval construction divides by `λmax − λmin`) rely on.
     pub fn widened(self, margin: f64) -> SpectralInterval {
-        let span = (self.max - self.min).abs().max(self.max.abs() * 1e-3);
+        let scale = self.min.abs().max(self.max.abs());
+        let span = (self.max - self.min).abs().max(scale * 1e-3).max(1e-12);
         SpectralInterval {
             min: self.min - margin * span,
             max: self.max + margin * span,
@@ -266,6 +275,54 @@ mod tests {
         let w = s.widened(0.1);
         assert!(w.min < 1.0 && w.max > 2.0);
         assert!(w.ratio() > s.ratio() * 0.9);
+    }
+
+    #[test]
+    fn lanczos_one_by_one_operator_is_exact() {
+        // n = 1: the Krylov space is the whole space; both extremes equal
+        // the single entry regardless of the requested step budget.
+        let est = lanczos_extremes(1, 16, 9, |x, y| y[0] = 3.5 * x[0]).unwrap();
+        assert_eq!(est.min, 3.5);
+        assert_eq!(est.max, 3.5);
+        assert_eq!(est.steps, 1);
+    }
+
+    #[test]
+    fn lanczos_scaled_identity_breaks_early_with_degenerate_interval() {
+        // A pure-diagonal operator with equal entries: the first Lanczos
+        // step finds an invariant subspace, so the estimate is exact and
+        // degenerate (λmin = λmax) after one step.
+        let est = lanczos_extremes(8, 8, 2, |x, y| {
+            for i in 0..8 {
+                y[i] = 2.0 * x[i];
+            }
+        })
+        .unwrap();
+        assert!((est.min - 2.0).abs() < 1e-12, "{est:?}");
+        assert!((est.max - 2.0).abs() < 1e-12, "{est:?}");
+        assert_eq!(est.steps, 1);
+    }
+
+    #[test]
+    fn widened_degenerate_interval_strictly_brackets() {
+        // λmin == λmax: the relative floor keeps the widening span
+        // nonzero, so the widened interval is a genuine interval.
+        let s = SpectralInterval {
+            min: 2.0,
+            max: 2.0,
+            steps: 1,
+        };
+        let w = s.widened(0.02);
+        assert!(w.min < 2.0 && w.max > 2.0, "{w:?}");
+        assert!(w.max - w.min >= 2.0 * 0.02 * 1e-3 * 2.0 * 0.999, "{w:?}");
+        // Even the all-zero interval widens through the absolute floor.
+        let z = SpectralInterval {
+            min: 0.0,
+            max: 0.0,
+            steps: 1,
+        }
+        .widened(0.02);
+        assert!(z.min < 0.0 && z.max > 0.0, "{z:?}");
     }
 
     #[test]

@@ -107,4 +107,4 @@ pub use op::{AutoOp, SparseOp};
 pub use partition::Partition;
 pub use permute::Permutation;
 pub use sellcs::SellCsMatrix;
-pub use tuning::{MatrixFormat, PcgVariant};
+pub use tuning::{MatrixFormat, PcgVariant, PolyKind, PrecondKind};

@@ -17,6 +17,7 @@
 //! | `MSPCG_MIN_SPMV_CHUNK_NNZ` | [`DEFAULT_MIN_SPMV_CHUNK_NNZ`] | minimum stored entries per nnz-weighted SpMV chunk |
 //! | `MSPCG_FORCE_FORMAT` | *(unset)* | pin [`crate::op::AutoOp`] to one storage format (`csr` or `sellcs`) |
 //! | `MSPCG_PCG_VARIANT` | *(unset)* | pin the PCG iteration variant (`classic`, `single_reduction` or `pipelined`) for every solver whose options leave the variant on automatic |
+//! | `MSPCG_PRECOND` | *(unset)* | pin the preconditioner for every solver whose selection is on automatic: `mstep:M` / `ssor:M` for the m-step multicolor SSOR, `chebyshev:K` / `newton:K` for the degree-`K` polynomial |
 //! | `MSPCG_AUDIT_PERIOD` | [`DEFAULT_AUDIT_PERIOD`] | iterations between true-residual audits when residual replacement is active |
 //! | `MSPCG_RESIDUAL_REPLACEMENT` | *(unset)* | force residual auditing + replacement on (`1`/`true`/`on`) or off (`0`/`false`/`off`) for every solver whose recovery policy is on automatic |
 //!
@@ -252,6 +253,122 @@ pub fn forced_pcg_variant() -> Option<PcgVariant> {
     })
 }
 
+/// Polynomial recurrences the barrier-free preconditioner implements.
+/// Lives here (next to [`PcgVariant`]) so the serial and SPMD stacks share
+/// one selection type and one validated `MSPCG_PRECOND` override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolyKind {
+    /// Scaled first-kind Newton (Richardson/truncated-Neumann) recurrence:
+    /// every step applies the same optimal damping `ω = 2/(λ₁ + λₙ)`.
+    Newton,
+    /// Chebyshev recurrence on the estimated interval `[λ₁, λₙ]` — the
+    /// min-max polynomial of the same degree, fewer PCG iterations per
+    /// SpMV than Newton on ill-conditioned intervals.
+    Chebyshev,
+}
+
+/// Preconditioner selection for the solver stack: the paper's m-step
+/// multicolor SSOR, or the barrier-free polynomial alternative built from
+/// SpMVs only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecondKind {
+    /// Resolve at construction time: the `MSPCG_PRECOND` override if set,
+    /// otherwise the barrier-cost heuristic of [`PrecondKind::resolve`].
+    #[default]
+    Auto,
+    /// The paper's m-step multicolor SSOR preconditioner
+    /// (`m·(2C−1)` color-sweep barriers per application on the SPMD
+    /// schedule, `C` = number of colors).
+    MStepSsor {
+        /// Number of preconditioner steps.
+        m: usize,
+    },
+    /// Degree-`degree` polynomial in the Jacobi-scaled operator
+    /// (`degree` SpMV-phase barriers per application, zero color sweeps).
+    Poly {
+        /// Recurrence family.
+        kind: PolyKind,
+        /// Polynomial degree (= SpMVs per application); at least 1.
+        degree: usize,
+    },
+}
+
+impl PrecondKind {
+    /// Resolve [`PrecondKind::Auto`] against the environment override and
+    /// the barrier-cost heuristic; pinned selections pass through
+    /// unchanged. The result is never `Auto`.
+    ///
+    /// The heuristic compares estimated synchronization cost per
+    /// application at matched flops (a degree-`2m` polynomial streams the
+    /// matrix as often as `m` forward+backward sweeps): m-step SSOR costs
+    /// `m·(2·colors − 1)` sweep barriers where the flop-equivalent
+    /// polynomial costs `2m` SpMV barriers, so the polynomial wins
+    /// whenever `2·colors − 1 > 2`, i.e. for every genuinely multicolor
+    /// matrix (`colors ≥ 2`); a single-color (pure-diagonal) system keeps
+    /// the cheaper SSOR sweeps.
+    pub fn resolve(self, colors: usize, m_default: usize) -> PrecondKind {
+        let auto = || {
+            let m = m_default.max(1);
+            if 2 * colors > 3 {
+                PrecondKind::Poly {
+                    kind: PolyKind::Chebyshev,
+                    degree: 2 * m,
+                }
+            } else {
+                PrecondKind::MStepSsor { m }
+            }
+        };
+        match self {
+            PrecondKind::Auto => forced_precond().unwrap_or_else(auto),
+            pinned => pinned,
+        }
+    }
+}
+
+/// Parse an `MSPCG_PRECOND` value: `Some(kind)` for a known
+/// `name:positive-integer` pair (`mstep:M` / `ssor:M` for
+/// [`PrecondKind::MStepSsor`], `chebyshev:K` / `cheby:K` / `newton:K` for
+/// [`PrecondKind::Poly`], case-insensitive), `None` for anything else —
+/// the same pure-function validation shape as [`parse_variant`].
+pub fn parse_precond(raw: &str) -> Option<PrecondKind> {
+    let lower = raw.trim().to_ascii_lowercase();
+    let (name, count) = lower.split_once(':')?;
+    let n = parse_positive(count)?;
+    match name.trim() {
+        "mstep" | "ssor" => Some(PrecondKind::MStepSsor { m: n }),
+        "chebyshev" | "cheby" => Some(PrecondKind::Poly {
+            kind: PolyKind::Chebyshev,
+            degree: n,
+        }),
+        "newton" => Some(PrecondKind::Poly {
+            kind: PolyKind::Newton,
+            degree: n,
+        }),
+        _ => None,
+    }
+}
+
+/// The `MSPCG_PRECOND` override: `Some(kind)` when the environment pins the
+/// preconditioner for [`PrecondKind::Auto`] selections, `None` when unset
+/// or empty (the barrier-cost heuristic decides). Validated exactly like
+/// `MSPCG_THREADS`: an unknown value trips a debug assertion and behaves as
+/// unset. Read once and cached — the preconditioner must not flip between
+/// two solves of one process, or replay determinism would break.
+pub fn forced_precond() -> Option<PrecondKind> {
+    static CELL: OnceLock<Option<PrecondKind>> = OnceLock::new();
+    *CELL.get_or_init(|| match std::env::var("MSPCG_PRECOND") {
+        Ok(v) if !v.trim().is_empty() => {
+            let parsed = parse_precond(&v);
+            debug_assert!(
+                parsed.is_some(),
+                "MSPCG_PRECOND must be `mstep:M`, `ssor:M`, `chebyshev:K` or `newton:K`, got {v:?}"
+            );
+            parsed
+        }
+        _ => None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +451,76 @@ mod tests {
         assert_eq!(parse_variant("ghysels"), None);
         assert_eq!(parse_variant(""), None);
         assert_eq!(parse_variant("auto"), None); // Auto is the absence of a pin
+    }
+
+    #[test]
+    fn parse_precond_accepts_known_pairs_and_rejects_garbage() {
+        assert_eq!(
+            parse_precond("mstep:3"),
+            Some(PrecondKind::MStepSsor { m: 3 })
+        );
+        assert_eq!(
+            parse_precond(" SSOR:2 "),
+            Some(PrecondKind::MStepSsor { m: 2 })
+        );
+        assert_eq!(
+            parse_precond("chebyshev:4"),
+            Some(PrecondKind::Poly {
+                kind: PolyKind::Chebyshev,
+                degree: 4
+            })
+        );
+        assert_eq!(parse_precond("Cheby:1"), parse_precond("chebyshev:1"));
+        assert_eq!(
+            parse_precond("newton:6"),
+            Some(PrecondKind::Poly {
+                kind: PolyKind::Newton,
+                degree: 6
+            })
+        );
+        // Garbage: unknown names, missing/zero/negative degrees, bare
+        // names without a count (forced_precond then debug-asserts and
+        // falls back to Auto instead of silently accepting).
+        assert_eq!(parse_precond("jacobi:2"), None);
+        assert_eq!(parse_precond("chebyshev"), None);
+        assert_eq!(parse_precond("chebyshev:0"), None);
+        assert_eq!(parse_precond("newton:-1"), None);
+        assert_eq!(parse_precond("mstep:two"), None);
+        assert_eq!(parse_precond(""), None);
+        assert_eq!(parse_precond("auto"), None); // Auto is the absence of a pin
+    }
+
+    #[test]
+    fn precond_resolution_never_returns_auto() {
+        // Pinned selections pass through untouched.
+        assert_eq!(
+            PrecondKind::MStepSsor { m: 2 }.resolve(4, 3),
+            PrecondKind::MStepSsor { m: 2 }
+        );
+        let poly = PrecondKind::Poly {
+            kind: PolyKind::Newton,
+            degree: 5,
+        };
+        assert_eq!(poly.resolve(1, 1), poly);
+        // Auto honors the cached environment pin; with no pin the
+        // barrier-cost heuristic picks the flop-equivalent Chebyshev
+        // polynomial for multicolor matrices and m-step SSOR for
+        // single-color ones.
+        let resolved = PrecondKind::Auto.resolve(4, 3);
+        assert_ne!(resolved, PrecondKind::Auto);
+        if forced_precond().is_none() {
+            assert_eq!(
+                resolved,
+                PrecondKind::Poly {
+                    kind: PolyKind::Chebyshev,
+                    degree: 6
+                }
+            );
+            assert_eq!(
+                PrecondKind::Auto.resolve(1, 2),
+                PrecondKind::MStepSsor { m: 2 }
+            );
+        }
     }
 
     #[test]

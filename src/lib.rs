@@ -72,6 +72,9 @@
 //!   | classic, plain CG (`m = 0`) | 2 | 4 | — |
 //!   | single-reduction, plain CG | **1** | **2** (`z ≡ r`) | — |
 //!   | pipelined, plain CG | **1, in flight** | **1** + 1 split crossing | the `K·w` SpMV |
+//!   | classic, polynomial degree `k` | 2 | **`k + 3`** | — |
+//!   | single-reduction, polynomial | **1** | **`k + 2`** | — |
+//!   | pipelined, polynomial | **1, in flight** | **`k + 1`** + 1 split crossing | the `p(G)D⁻¹w` chain + `K·mv` |
 //!
 //!   Both counts are *measured*, not asserted: `PcgStats` carries
 //!   `reduction_phases` (and `fallbacks`), the SPMD report carries
@@ -110,6 +113,33 @@
 //!   formulas at `m ∈ {0..3}` — is pinned by counter tests; honest
 //!   1-core caveat: this container cannot show the latency win, only the
 //!   counter proof (`BENCH_pr5.json` records both).
+//! * **Barrier-free polynomial (Newton–Chebyshev) preconditioning** — the
+//!   multicolor SSOR sweeps cost `2C−1` barriers per step: the
+//!   *color structure itself* is the synchronization bill.
+//!   `mspcg::core::poly::PolynomialPreconditioner` replaces the sweeps
+//!   with `z = p(G)·D⁻¹r`, `G = D⁻¹K`, evaluated as a degree-`k` chain of
+//!   fused SpMV + BLAS-1 kernels (`vecops::fused_poly_seed` /
+//!   `fused_poly_step`): **`k` barriers per application, zero color
+//!   sweeps**, allocation-free after setup (`scratch_len`/`apply_with`),
+//!   generic over `SparseOp`, and bitwise identical across thread counts
+//!   and storage formats. The coefficient schedule (Chebyshev min-max on
+//!   the estimated interval, or Newton/scaled-Richardson) is built once
+//!   from a Lanczos estimate of the Jacobi-scaled spectrum
+//!   (`poly::jacobi_spectrum`, cached on the preconditioner for reuse at
+//!   other degrees) and shared verbatim by the serial evaluator and the
+//!   SPMD `ParallelMStepPcg::poly` msolve — `k` fused SpMV phases, whose
+//!   exact barrier/split/reduction formulas (table above; the pipelined
+//!   overlap window pays one input-finalization barrier) are pinned by
+//!   counter tests at every variant. Selection:
+//!   `PrecondKind::{Auto, MStepSsor, Poly}` on the auto constructors
+//!   (`core::poly::auto_preconditioner`, `ParallelMStepPcg::auto`) with
+//!   the validated `MSPCG_PRECOND=mstep:M|ssor:M|chebyshev:K|newton:K`
+//!   env override; the `Auto` heuristic picks the polynomial at matched
+//!   flops (degree `2m` ≈ `m` sweeps) whenever `2C−1 > 2`, i.e. for
+//!   every genuinely multicolor matrix. The `par-poly` CI job runs the
+//!   whole suite under `chebyshev:4` × 4 threads, and `BENCH_pr8.json`
+//!   records iterations / barriers / wall time of degree-`k` vs m-step
+//!   at matched flops.
 //! * **Operator abstraction + SELL-C-σ** — every solver entry point
 //!   (`pcg_solve_into`, `pcg_solve_multi`, the SPMD `ParallelMStepPcg`,
 //!   the splitting/preconditioner constructors) is generic over

@@ -29,6 +29,7 @@
 use mspcg::coloring::Coloring;
 use mspcg::core::mstep::MStepSsorPreconditioner;
 use mspcg::core::pcg::{pcg_solve, PcgOptions, PcgVariant, StoppingCriterion};
+use mspcg::core::poly::PolynomialPreconditioner;
 use mspcg::core::recovery::{
     ApplicationFault, FaultKind, FaultPlan, FaultTarget, FaultyOp, FaultyPreconditioner,
     IterationFault, RecoveryPolicy, Toggle,
@@ -36,7 +37,7 @@ use mspcg::core::recovery::{
 use mspcg::fem::plate::PlaneStressProblem;
 use mspcg::fem::poisson::poisson5;
 use mspcg::parallel::{ParallelMStepPcg, ParallelSolverOptions};
-use mspcg::sparse::{vecops, CooMatrix, CsrMatrix, Partition, SparseOp};
+use mspcg::sparse::{vecops, CooMatrix, CsrMatrix, Partition, PolyKind, SparseOp};
 
 /// Every variant the harness covers (kept in sync with
 /// `variant_conformance.rs`, whose compile-time guard covers the enum).
@@ -348,6 +349,98 @@ fn every_variant_survives_injected_faults_across_executors_and_families() {
                         "{label}: a finite corruption must not trip the NaN checks"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// The recovery ladder is preconditioner-agnostic: a NaN out of the
+/// barrier-free **polynomial** msolve walks the exact same detection /
+/// replacement / rung path as a poisoned SSOR sweep — serially (fault
+/// consumed once, lower rung runs clean) and in the SPMD solver
+/// (iteration-indexed plan re-fires per rung until the classic rung
+/// absorbs it).
+#[test]
+fn nan_polynomial_msolve_walks_the_same_recovery_ladder() {
+    for family in families() {
+        let a = &family.matrix;
+        let b = rhs_for(a.rows());
+        let degree = 2 * family.m;
+        let spmd = ParallelMStepPcg::poly(a, &family.colors, PolyKind::Chebyshev, degree).unwrap();
+
+        for variant in ALL_VARIANTS {
+            // --- serial, NaN out of polynomial application 2 -------------
+            {
+                let label = format!("{}/serial/{variant:?}/nan-poly-msolve", family.name);
+                let opts = PcgOptions {
+                    tol: TOL,
+                    criterion: StoppingCriterion::DisplacementChange,
+                    variant,
+                    recovery: RecoveryPolicy::off(),
+                    ..Default::default()
+                };
+                let stats = run_cell(
+                    &label,
+                    &mut || {
+                        let pre = FaultyPreconditioner::new(
+                            PolynomialPreconditioner::chebyshev(a.clone(), degree).unwrap(),
+                            vec![ApplicationFault {
+                                application: 2,
+                                index: 3,
+                                kind: FaultKind::NaN,
+                            }],
+                        );
+                        let sol = pcg_solve(a, &b, &pre, &opts).expect("faulted serial poly solve");
+                        assert!(sol.converged, "did not converge");
+                        assert_eq!(pre.injected(), 1, "fault was not consumed");
+                        (sol.x, sol.stats)
+                    },
+                    a,
+                    &b,
+                );
+                let (faults, replacements, fallbacks) = serial_nan_counters(variant);
+                assert_eq!(
+                    (stats.faults_detected, stats.replacements, stats.fallbacks),
+                    (faults, replacements, fallbacks),
+                    "{label}: counters {stats:?}"
+                );
+            }
+
+            // --- SPMD, persistent NaN at the iteration-2 poly msolve -----
+            for threads in [1usize, 2, 4, 8] {
+                let label = format!("{}/spmd{threads}/{variant:?}/nan-poly-msolve", family.name);
+                let opts = ParallelSolverOptions {
+                    threads,
+                    tol: TOL,
+                    max_iterations: 50_000,
+                    variant,
+                    recovery: RecoveryPolicy::off(),
+                };
+                let plan = FaultPlan::new(vec![IterationFault {
+                    target: FaultTarget::Msolve,
+                    iteration: 2,
+                    index: 3,
+                    kind: FaultKind::NaN,
+                }]);
+                let rep = run_cell(
+                    &label,
+                    &mut || {
+                        let rep = spmd
+                            .solve_with_faults(&b, &opts, &plan)
+                            .expect("faulted spmd poly solve");
+                        assert!(rep.converged, "did not converge");
+                        (rep.x.clone(), rep)
+                    },
+                    a,
+                    &b,
+                );
+                let (faults, replacements, recoveries) = spmd_nan_counters(variant);
+                assert_eq!(
+                    (rep.faults_detected, rep.replacements, rep.recoveries),
+                    (faults, replacements, recoveries),
+                    "{label}"
+                );
+                assert_eq!(rep.variant, PcgVariant::Classic, "{label}");
             }
         }
     }

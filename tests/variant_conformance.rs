@@ -23,10 +23,11 @@
 use mspcg::coloring::Coloring;
 use mspcg::core::mstep::MStepSsorPreconditioner;
 use mspcg::core::pcg::{pcg_solve, PcgOptions, PcgVariant, StoppingCriterion};
+use mspcg::core::poly::PolynomialPreconditioner;
 use mspcg::fem::plate::PlaneStressProblem;
 use mspcg::fem::poisson::poisson5;
 use mspcg::parallel::{ParallelMStepPcg, ParallelSolverOptions};
-use mspcg::sparse::{vecops, CooMatrix, CsrMatrix, Partition, SellCsMatrix};
+use mspcg::sparse::{vecops, CooMatrix, CsrMatrix, Partition, PolyKind, SellCsMatrix};
 
 /// Every variant the harness covers.
 const ALL_VARIANTS: [PcgVariant; 3] = [
@@ -253,6 +254,99 @@ fn every_variant_conforms_across_executors_families_and_formats() {
                         &label,
                         &mut || {
                             let rep = solver.solve(&b, &spmd_opts).expect("spmd");
+                            assert!(rep.converged);
+                            (rep.x, rep.iterations)
+                        },
+                        a,
+                        &b,
+                    );
+                    check_iters(&label, iters);
+                }
+            }
+        }
+    }
+}
+
+/// The **polynomial-preconditioner axis** of the same matrix: every
+/// variant × executor × family × format again, with the barrier-free
+/// Newton–Chebyshev msolve in place of the m-step SSOR sweeps. The degree
+/// is `2m` — the flop-matched exchange rate (a degree-`2m` chain streams
+/// the matrix as often as `m` forward+backward sweeps) — and the slack
+/// baseline is the serial classic CSR *polynomial* solve of each family,
+/// since the two preconditioners converge on different iteration counts.
+#[test]
+fn every_variant_conforms_with_polynomial_preconditioning() {
+    let mut rng = Rng::new(0xCEB1);
+    for family in families() {
+        let a = &family.matrix;
+        let n = a.rows();
+        let sell = SellCsMatrix::from_csr_default(a);
+        let b: Vec<f64> = (0..n).map(|_| rng.unit() * 2.0 - 1.0).collect();
+        let degree = 2 * family.m;
+        let pre =
+            PolynomialPreconditioner::chebyshev(a.clone(), degree).expect("poly preconditioner");
+        let spmd_csr =
+            ParallelMStepPcg::poly(a, &family.colors, PolyKind::Chebyshev, degree).unwrap();
+        let spmd_sell =
+            ParallelMStepPcg::poly(&sell, &family.colors, PolyKind::Chebyshev, degree).unwrap();
+
+        // (c) baseline: serial classic on CSR, polynomial msolve.
+        let baseline = {
+            let opts = PcgOptions {
+                tol: TOL,
+                criterion: StoppingCriterion::DisplacementChange,
+                variant: PcgVariant::Classic,
+                ..Default::default()
+            };
+            pcg_solve(a, &b, &pre, &opts).expect("baseline").iterations as isize
+        };
+
+        let check_iters = |label: &str, iters: usize| {
+            assert!(
+                (iters as isize - baseline).abs() <= ITER_SLACK,
+                "{label}: {iters} iterations vs baseline {baseline}"
+            );
+        };
+
+        for variant in ALL_VARIANTS {
+            let serial_opts = PcgOptions {
+                tol: TOL,
+                criterion: StoppingCriterion::DisplacementChange,
+                variant,
+                ..Default::default()
+            };
+            for (fmt, op) in [("csr", None), ("sellcs", Some(&sell))] {
+                let label = format!("{}/serial/{fmt}/{variant:?}/poly", family.name);
+                let (_, iters) = run_cell(
+                    &label,
+                    &mut || {
+                        let s = match op {
+                            None => pcg_solve(a, &b, &pre, &serial_opts),
+                            Some(sell) => pcg_solve(sell, &b, &pre, &serial_opts),
+                        }
+                        .expect("serial poly");
+                        assert!(s.converged);
+                        (s.x, s.iterations)
+                    },
+                    a,
+                    &b,
+                );
+                check_iters(&label, iters);
+            }
+            for threads in [1usize, 2, 4, 8] {
+                let spmd_opts = ParallelSolverOptions {
+                    threads,
+                    tol: TOL,
+                    max_iterations: 50_000,
+                    variant,
+                    ..Default::default()
+                };
+                for (fmt, solver) in [("csr", &spmd_csr), ("sellcs", &spmd_sell)] {
+                    let label = format!("{}/spmd{threads}/{fmt}/{variant:?}/poly", family.name);
+                    let (_, iters) = run_cell(
+                        &label,
+                        &mut || {
+                            let rep = solver.solve(&b, &spmd_opts).expect("spmd poly");
                             assert!(rep.converged);
                             (rep.x, rep.iterations)
                         },
