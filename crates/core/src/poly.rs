@@ -46,7 +46,7 @@
 use crate::mstep::MStepSsorPreconditioner;
 use crate::preconditioner::Preconditioner;
 use mspcg_sparse::lanczos::{lanczos_extremes, SpectralInterval};
-use mspcg_sparse::tuning::{PolyKind, PrecondKind};
+use mspcg_sparse::tuning::{forced_precond, PolyKind, PrecondKind};
 use mspcg_sparse::{vecops, CsrMatrix, Partition, SparseError, SparseOp};
 use std::sync::Mutex;
 
@@ -91,11 +91,33 @@ pub fn jacobi_spectrum<A: SparseOp>(
     a: &A,
     inv_diag: &[f64],
 ) -> Result<SpectralInterval, SparseError> {
+    Ok(safeguard_jacobi_interval(raw_jacobi_spectrum(a, inv_diag)?))
+}
+
+/// The **unsafeguarded** Ritz-value interval behind [`jacobi_spectrum`]:
+/// exactly what Lanczos estimated, before the relative margins bracket it.
+/// The safeguarding deliberately widens a degenerate point spectrum into a
+/// usable (non-degenerate) interval, so consumers that need to *detect*
+/// degeneracy — the `Auto` preconditioner heuristic must not commit to a
+/// polynomial on `λmin ≈ λmax` — check
+/// [`SpectralInterval::is_degenerate`] on this raw estimate and then apply
+/// [`safeguard_jacobi_interval`] themselves, reusing the single Lanczos
+/// run for both decisions.
+///
+/// # Errors
+/// Propagates [`lanczos_extremes`] failures.
+///
+/// # Panics
+/// Panics if `inv_diag.len() != a.rows()`.
+pub fn raw_jacobi_spectrum<A: SparseOp>(
+    a: &A,
+    inv_diag: &[f64],
+) -> Result<SpectralInterval, SparseError> {
     let n = a.rows();
     assert_eq!(inv_diag.len(), n, "jacobi_spectrum: diag length mismatch");
     let dhalf: Vec<f64> = inv_diag.iter().map(|d| d.sqrt()).collect();
     let mut tmp = vec![0.0; n];
-    let est = lanczos_extremes(n, SPECTRUM_STEPS, 0x5EED, |x, y| {
+    lanczos_extremes(n, SPECTRUM_STEPS, 0x5EED, |x, y| {
         for i in 0..n {
             tmp[i] = dhalf[i] * x[i];
         }
@@ -103,12 +125,19 @@ pub fn jacobi_spectrum<A: SparseOp>(
         for i in 0..n {
             y[i] *= dhalf[i];
         }
-    })?;
-    Ok(SpectralInterval {
+    })
+}
+
+/// Apply the [`LOWER_MARGIN`] / [`UPPER_MARGIN`] relative safeguards to a
+/// raw Ritz-value estimate (lower end clamped positive) — the widening
+/// step of [`jacobi_spectrum`], exposed so callers of
+/// [`raw_jacobi_spectrum`] produce bitwise the same interval.
+pub fn safeguard_jacobi_interval(est: SpectralInterval) -> SpectralInterval {
+    SpectralInterval {
         min: (est.min * (1.0 - LOWER_MARGIN)).max(1e-12),
         max: est.max * (1.0 + UPPER_MARGIN),
         steps: est.steps,
-    })
+    }
 }
 
 /// The coefficient schedule of one polynomial preconditioner application:
@@ -315,9 +344,29 @@ impl<A: SparseOp> PolynomialPreconditioner<A> {
     pub fn matrix(&self) -> &A {
         &self.a
     }
+
+    /// Rebuild at another `degree` (same matrix, same kind), reusing the
+    /// cached interval **and** the checked reciprocal diagonal — the
+    /// degree-sweep entry point: a sweep over degrees on one matrix runs
+    /// Lanczos exactly once, for the first preconditioner.
+    ///
+    /// # Errors
+    /// [`PolySchedule::new`] validation errors.
+    pub fn with_degree(&self, degree: usize) -> Result<Self, SparseError>
+    where
+        A: Clone,
+    {
+        Self::assemble(
+            self.a.clone(),
+            self.inv_diag.clone(),
+            self.kind,
+            degree,
+            self.interval,
+        )
+    }
 }
 
-fn checked_inv_diag<A: SparseOp>(a: &A) -> Result<Vec<f64>, SparseError> {
+pub(crate) fn checked_inv_diag<A: SparseOp>(a: &A) -> Result<Vec<f64>, SparseError> {
     let (rows, cols) = a.dims();
     if rows != cols {
         return Err(SparseError::NotSquare { rows, cols });
@@ -369,6 +418,13 @@ impl<A: SparseOp> Preconditioner for PolynomialPreconditioner<A> {
             self.a.mul_vec_into(z, kz);
             vecops::fused_poly_step(aj, bj, &self.inv_diag, r, kz, d, z);
         }
+    }
+
+    /// The cached Jacobi-spectrum estimate: lets the s-step basis reuse
+    /// this preconditioner's Lanczos run instead of performing its own
+    /// (the poly-precond ↔ s-step-basis boundary of the caching story).
+    fn spectral_hint(&self) -> Option<SpectralInterval> {
+        Some(self.interval)
     }
 }
 
@@ -433,6 +489,13 @@ impl<A: SparseOp> Preconditioner for AutoPreconditioner<A> {
             AutoPreconditioner::Poly(p) => p.apply_with(r, z, scratch),
         }
     }
+
+    fn spectral_hint(&self) -> Option<SpectralInterval> {
+        match self {
+            AutoPreconditioner::MStepSsor(p) => p.spectral_hint(),
+            AutoPreconditioner::Poly(p) => p.spectral_hint(),
+        }
+    }
 }
 
 /// Resolve `selection` against the `MSPCG_PRECOND` override and the
@@ -448,14 +511,42 @@ pub fn auto_preconditioner<A: SparseOp + Clone>(
     m_default: usize,
     selection: PrecondKind,
 ) -> Result<AutoPreconditioner<A>, SparseError> {
+    // The barrier-cost heuristic (as opposed to a caller or `MSPCG_PRECOND`
+    // pin) assumes the Lanczos estimate will produce a usable interval; on
+    // a degenerate spectrum that assumption fails and the heuristic choice
+    // must be revisited below.
+    let heuristic = selection == PrecondKind::Auto && forced_precond().is_none();
     match selection.resolve(colors.num_blocks(), m_default) {
         PrecondKind::Auto => unreachable!("resolve never returns Auto"),
         PrecondKind::MStepSsor { m } => Ok(AutoPreconditioner::MStepSsor(
             MStepSsorPreconditioner::unparametrized_op(a, colors, m)?,
         )),
-        PrecondKind::Poly { kind, degree } => Ok(AutoPreconditioner::Poly(
-            PolynomialPreconditioner::new(a.clone(), kind, degree)?,
-        )),
+        PrecondKind::Poly { kind, degree } => {
+            // Estimate the interval ONCE, before committing: on a
+            // degenerate RAW spectrum (λmin ≈ λmax — a scaled identity, a
+            // tiny system, an early invariant-subspace break) every
+            // polynomial schedule collapses to (near-)Richardson on the
+            // artificially widened safeguard interval, which buys nothing
+            // over the sweeps the heuristic rejected on barrier cost — so
+            // a *heuristic* polynomial pick falls back to m-step SSOR. A
+            // pinned polynomial stays pinned (its schedule handles the
+            // degenerate interval explicitly).
+            let inv_diag = checked_inv_diag(a)?;
+            let raw = raw_jacobi_spectrum(a, &inv_diag)?;
+            if heuristic && raw.is_degenerate() {
+                return Ok(AutoPreconditioner::MStepSsor(
+                    MStepSsorPreconditioner::unparametrized_op(a, colors, m_default.max(1))?,
+                ));
+            }
+            Ok(AutoPreconditioner::Poly(
+                PolynomialPreconditioner::with_interval(
+                    a.clone(),
+                    kind,
+                    degree,
+                    safeguard_jacobi_interval(raw),
+                )?,
+            ))
+        }
     }
 }
 
@@ -711,5 +802,134 @@ mod tests {
             auto.selected(),
             PrecondKind::Auto.resolve(colors.num_blocks(), 2)
         );
+    }
+
+    #[test]
+    fn auto_heuristic_falls_back_to_ssor_on_degenerate_spectrum() {
+        // K = 3I in a 2-color blocking: the barrier-cost heuristic alone
+        // would pick the polynomial (2C−1 = 3 > 2), but the Jacobi
+        // spectrum of a scaled identity is the single point {1} — Lanczos
+        // breaks on an invariant subspace after one step and the RAW
+        // interval is degenerate. Auto must fall back to the m-step
+        // sweeps instead of constructing a meaningless schedule.
+        let n = 12;
+        let mut c = CooMatrix::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 3.0).unwrap();
+        }
+        let a = c.to_csr();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let ord = mspcg_coloring::Coloring::from_labels(labels, 2)
+            .unwrap()
+            .ordering();
+        let (pa, colors) = (ord.permute_matrix(&a).unwrap(), ord.partition);
+        if forced_precond().is_none() {
+            // Sanity: the heuristic alone WOULD pick the polynomial here.
+            assert_eq!(
+                PrecondKind::Auto.resolve(colors.num_blocks(), 2),
+                PrecondKind::Poly {
+                    kind: PolyKind::Chebyshev,
+                    degree: 4
+                }
+            );
+            let auto = auto_preconditioner(&pa, &colors, 2, PrecondKind::Auto).unwrap();
+            assert_eq!(auto.selected(), PrecondKind::MStepSsor { m: 2 });
+        }
+        // A *pinned* polynomial stays pinned on the same spectrum: the
+        // schedule handles the degenerate interval (Richardson fallback),
+        // so the pin is honored rather than second-guessed.
+        let pinned = auto_preconditioner(
+            &pa,
+            &colors,
+            2,
+            PrecondKind::Poly {
+                kind: PolyKind::Chebyshev,
+                degree: 2,
+            },
+        )
+        .unwrap();
+        assert!(matches!(pinned.selected(), PrecondKind::Poly { .. }));
+    }
+
+    /// SpMV-counting wrapper: proves which construction paths run Lanczos.
+    #[derive(Clone)]
+    struct CountingOp {
+        inner: CsrMatrix,
+        spmvs: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl SparseOp for CountingOp {
+        fn rows(&self) -> usize {
+            self.inner.rows()
+        }
+        fn cols(&self) -> usize {
+            self.inner.cols()
+        }
+        fn nnz(&self) -> usize {
+            SparseOp::nnz(&self.inner)
+        }
+        fn mul_vec_range_into(&self, x: &[f64], y: &mut [f64], rows: std::ops::Range<usize>) {
+            self.inner.mul_vec_range_into(x, y, rows);
+        }
+        fn mul_vec_axpy_range(
+            &self,
+            a: f64,
+            x: &[f64],
+            y: &mut [f64],
+            rows: std::ops::Range<usize>,
+        ) {
+            self.inner.mul_vec_axpy_range(a, x, y, rows);
+        }
+        fn visit_row(&self, i: usize, visit: &mut dyn FnMut(usize, f64)) {
+            self.inner.visit_row(i, visit);
+        }
+        fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+            self.spmvs
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.mul_vec_into(x, y);
+        }
+        fn mul_vec_axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
+            self.spmvs
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.mul_vec_axpy(a, x, y);
+        }
+    }
+
+    #[test]
+    fn degree_sweep_runs_lanczos_exactly_once() {
+        let op = CountingOp {
+            inner: laplacian(32),
+            spmvs: Default::default(),
+        };
+        let count = || op.spmvs.load(std::sync::atomic::Ordering::Relaxed);
+        let first = PolynomialPreconditioner::new(op.clone(), PolyKind::Chebyshev, 2).unwrap();
+        let after_estimate = count();
+        assert!(after_estimate > 0, "construction must have run Lanczos");
+        // The caching contract of the satellite: sweeping degrees over one
+        // operator re-estimates NOTHING — with_degree reuses the cached
+        // interval and diagonal, with_interval the cached interval.
+        let mut sweep = Vec::new();
+        for degree in [3usize, 4, 6, 8] {
+            sweep.push(first.with_degree(degree).unwrap());
+        }
+        let rebuilt = PolynomialPreconditioner::with_interval(
+            op.clone(),
+            PolyKind::Newton,
+            5,
+            first.interval(),
+        )
+        .unwrap();
+        assert_eq!(
+            count(),
+            after_estimate,
+            "a degree sweep must not re-run the Lanczos estimation"
+        );
+        assert_eq!(sweep.last().unwrap().degree(), 8);
+        assert_eq!(rebuilt.interval(), first.interval());
+        // The swept preconditioners are real operators, not stubs.
+        let r: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut z = vec![0.0; 32];
+        sweep[0].apply(&r, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
     }
 }

@@ -132,8 +132,10 @@ impl RecoveryPolicy {
             Toggle::On => true,
             Toggle::Off => false,
             Toggle::Auto => tuning::forced_residual_replacement().unwrap_or(
-                matches!(variant, PcgVariant::SingleReduction | PcgVariant::Pipelined)
-                    && tol <= TIGHT_TOL,
+                matches!(
+                    variant,
+                    PcgVariant::SingleReduction | PcgVariant::Pipelined | PcgVariant::SStep { .. }
+                ) && tol <= TIGHT_TOL,
             ),
         }
     }
@@ -562,6 +564,7 @@ mod tests {
             let auto = RecoveryPolicy::default();
             assert!(auto.audit_enabled(PcgVariant::Pipelined, 1e-12));
             assert!(auto.audit_enabled(PcgVariant::SingleReduction, TIGHT_TOL));
+            assert!(auto.audit_enabled(PcgVariant::SStep { s: 4 }, 1e-12));
             assert!(!auto.audit_enabled(PcgVariant::Pipelined, 1e-8));
             assert!(!auto.audit_enabled(PcgVariant::Classic, 1e-14));
         }

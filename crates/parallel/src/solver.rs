@@ -98,6 +98,40 @@
 //! [`ParallelSolveReport::split_crossings`] measures the in-flight
 //! reductions; the exact-formula counter test pins the whole schedule.
 //!
+//! ## s-step schedule (communication avoidance)
+//!
+//! The recurrence schedules above still pay **one reduction phase per
+//! iteration**. Under [`PcgVariant::SStep`] the Chronopoulos–Gear
+//! s-step formulation amortizes that floor: each outer step builds an
+//! `s`-dimensional Krylov block with the Chebyshev three-term recurrence
+//! on the cached Lanczos interval (near-orthogonal basis, so the block
+//! Gram matrix stays well-conditioned where a monomial basis collapses),
+//! pays **ONE fused Gram reduction phase for all `s` iterations** — the
+//! partials of `VᵀAV`, `AP'ᵀV`, `Vᵀr`, `P'ᵀr` and `(r, r)` all ride the
+//! block's final SpMV phase — then finishes with replicated small dense
+//! work (coupling solve against the previous block, rank-revealing
+//! Cholesky) and `s` own-strip update sub-steps in one mega-phase:
+//!
+//! ```text
+//! v₁ ← M⁻¹r; per j = 2…s: SpMV + M⁻¹ + Chebyshev    s·m(2C−1) + 2(s−1) barriers
+//! A·v_s ← K·v_s ⊕ ALL Gram partials                  1 barrier   (THE reduction)
+//! replicated dense: B, W = PᵀKP, Cholesky, aⱼ        0 barriers  (unanimous)
+//! P ← V + P'B; AP ← AV + AP'B; s sub-steps
+//!   u += aⱼpⱼ, r −= aⱼ·apⱼ ⊕ per-sub-step ‖Δu‖∞     1 barrier   (one mega-phase)
+//! ```
+//!
+//! i.e. `s·m(2C−1) + 2s` barriers and one reduction phase per `s`
+//! iterations (polynomial msolve: `s(k+2)`; plain CG aliases `v₁ ≡ r`
+//! and fuses the Chebyshev step into the SpMV phase: `s + 1`). The
+//! stopping scan replays the classic per-iteration `|aⱼ|·‖pⱼ‖∞` test
+//! sub-step by sub-step off the replicated change bank — converging at
+//! iteration granularity, with the already-applied trailing sub-steps
+//! rolled back own-strip. Basis breakdown (a rank-zero Gram factor or
+//! any non-finite reduced scalar) steps down the ladder onto the
+//! pipelined rung; a rank-*truncated* factor is the endgame (Krylov
+//! grade < s), handled in place by running only the factored leading
+//! sub-steps and restarting the recurrence.
+//!
 //! ## Polynomial msolve (barrier-free preconditioning)
 //!
 //! Every schedule above pays `m·(2C−1)` color-sweep barriers per m-step
@@ -123,13 +157,18 @@
 
 use crate::barrier::{SpinBarrier, SplitBarrier};
 use crate::shared::{slot, ScalarBank, SharedVec};
+use mspcg_core::pcg::{
+    small_cholesky_factor, small_cholesky_solve, SSTEP_SPECTRUM_SEED, SSTEP_SPECTRUM_STEPS,
+};
+use mspcg_core::poly::{raw_jacobi_spectrum, safeguard_jacobi_interval};
 use mspcg_core::recovery::{
     audit_due, diverged, perturb, replacement_bound, FaultKind, FaultPlan, FaultTarget,
     RecoveryPolicy,
 };
 use mspcg_core::PolySchedule;
+use mspcg_sparse::lanczos::{lanczos_extremes, SpectralInterval};
 use mspcg_sparse::{vecops, Partition, PcgVariant, PolyKind, PrecondKind, SparseError, SparseOp};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Options for the threaded solver.
 #[derive(Debug, Clone, Copy)]
@@ -188,8 +227,9 @@ pub struct ParallelSolveReport {
     pub barrier_crossings: usize,
     /// Replicated dot-product reduction phases feeding α/β: two per
     /// classic iteration, one per single-reduction or pipelined iteration
-    /// (plus one at init). The ‖Δu‖∞ stopping max is the paper's flag
-    /// network and is not counted.
+    /// (plus one at init), and ONE per `s` iterations on the s-step
+    /// schedule (the fused block Gram phase; no init phase). The ‖Δu‖∞
+    /// stopping max is the paper's flag network and is not counted.
     pub reduction_phases: usize,
     /// [`SplitBarrier`] crossings of the run: one per reduction **in
     /// flight** on the pipelined schedule (arrive before the
@@ -206,7 +246,7 @@ pub struct ParallelSolveReport {
     /// recurrence schedules have no same-rung warm restart — they step
     /// down the ladder instead).
     pub replacements: usize,
-    /// Ladder step-downs this solve performed (Pipelined →
+    /// Ladder step-downs this solve performed (SStep → Pipelined →
     /// SingleReduction → Classic; each is a from-scratch rerun on the
     /// lower rung).
     pub recoveries: usize,
@@ -286,6 +326,45 @@ struct PipelinedVecs<'a> {
     guard: [&'a SharedVec; 2],
 }
 
+/// The shared storage of the s-step schedule (zero-length elsewhere):
+/// the basis and direction column blocks plus the two partial banks.
+/// Both banks are single (not parity-rotated): the Gram bank's readers
+/// (the replicated reduction right after the block's final SpMV barrier)
+/// and its next writer (the *next* block's final SpMV phase) are always
+/// separated by at least the update barrier, and the change bank's
+/// readers/writers by at least the Gram barrier — the one-barrier
+/// separation the rotating banks exist to provide comes free from the
+/// block structure.
+struct SStepVecs {
+    /// Chebyshev basis columns `v₁ … v_s` (for plain CG, `v₁ ≡ r` and
+    /// slot 0 is unused).
+    v: Vec<SharedVec>,
+    /// `A·V` columns.
+    av: Vec<SharedVec>,
+    /// Direction block banks: `(pa, apa)`/`(pb, apb)` alternate between
+    /// the "current" and "previous" roles each outer step.
+    pa: Vec<SharedVec>,
+    apa: Vec<SharedVec>,
+    pb: Vec<SharedVec>,
+    apb: Vec<SharedVec>,
+    /// Basis temp `M⁻¹(K·vⱼ)` (zero-length for plain CG, where `M = I`
+    /// makes it alias the freshly computed `A·vⱼ`).
+    tv: SharedVec,
+    /// Fused Gram partial bank, `threads × G` scalars
+    /// (G = [`sstep_gram_len`]).
+    gram: SharedVec,
+    /// Per-sub-step displacement partial bank, `threads × s`.
+    change: SharedVec,
+}
+
+/// Scalars in one worker's row of the fused Gram bank: the packed lower
+/// triangle of `G1 = VᵀAV` (`s(s+1)/2`), the full `G2 = AP'ᵀV` (`s²`),
+/// `gv = Vᵀr` and `gp = P'ᵀr` (`s` each), and `(r, r)`.
+#[inline]
+fn sstep_gram_len(s: usize) -> usize {
+    s * (s + 1) / 2 + s * s + 2 * s + 1
+}
+
 /// The threaded m-step SSOR PCG solver (ω = 1), constructible from a
 /// color-blocked operator in **any** [`SparseOp`] format.
 ///
@@ -314,6 +393,11 @@ pub struct ParallelMStepPcg {
     /// Polynomial msolve configuration (barrier-free alternative to the
     /// SSOR sweeps; mutually exclusive with nonempty `alphas`).
     poly: Option<ParPoly>,
+    /// The one Lanczos interval the s-step basis recurrence reuses across
+    /// every solve on this instance — the SPMD half of the
+    /// one-estimate-per-operator cache (the polynomial configuration
+    /// stores its interval in [`ParPoly`] instead and never fills this).
+    sstep_interval: OnceLock<SpectralInterval>,
 }
 
 /// The polynomial msolve's precomputed schedule, replicated read-only
@@ -322,6 +406,10 @@ pub struct ParallelMStepPcg {
 struct ParPoly {
     kind: PolyKind,
     schedule: PolySchedule,
+    /// The (safeguarded) Lanczos interval the schedule was built on,
+    /// kept so the s-step basis reuses it across the poly-precond ↔
+    /// s-step-basis boundary instead of re-running Lanczos.
+    interval: SpectralInterval,
 }
 
 /// Shared scratch of the polynomial msolve (zero-length when the
@@ -421,6 +509,7 @@ impl ParallelMStepPcg {
             lo_split,
             hi_split,
             poly: None,
+            sstep_interval: OnceLock::new(),
         })
     }
 
@@ -445,7 +534,11 @@ impl ParallelMStepPcg {
         let mut base = Self::shared(matrix, Arc::new(colors.clone()), Vec::new())?;
         let interval = mspcg_core::poly::jacobi_spectrum(matrix, &base.inv_diag)?;
         let schedule = PolySchedule::new(kind, interval.min, interval.max, degree)?;
-        base.poly = Some(ParPoly { kind, schedule });
+        base.poly = Some(ParPoly {
+            kind,
+            schedule,
+            interval,
+        });
         Ok(base)
     }
 
@@ -453,7 +546,11 @@ impl ParallelMStepPcg {
     /// [`PrecondKind::Auto`], else the barrier-cost heuristic of
     /// [`PrecondKind::resolve`] — and build the chosen SPMD
     /// configuration: the SPMD counterpart of
-    /// [`mspcg_core::auto_preconditioner`].
+    /// [`mspcg_core::auto_preconditioner`], including its degenerate-
+    /// spectrum revision: a *heuristic* polynomial pick whose RAW Lanczos
+    /// estimate collapses to a point (λmin ≈ λmax) buys nothing over the
+    /// sweeps the heuristic rejected on barrier cost, so it falls back to
+    /// m-step SSOR; a pinned polynomial stays pinned.
     ///
     /// # Errors
     /// The chosen constructor's errors.
@@ -463,10 +560,29 @@ impl ParallelMStepPcg {
         m_default: usize,
         selection: PrecondKind,
     ) -> Result<Self, SparseError> {
+        let heuristic =
+            selection == PrecondKind::Auto && mspcg_sparse::tuning::forced_precond().is_none();
         match selection.resolve(colors.num_blocks(), m_default) {
             PrecondKind::Auto => unreachable!("resolve never returns Auto"),
             PrecondKind::MStepSsor { m } => Self::new(matrix, colors, vec![1.0; m]),
-            PrecondKind::Poly { kind, degree } => Self::poly(matrix, colors, kind, degree),
+            PrecondKind::Poly { kind, degree } => {
+                // Estimate the spectrum ONCE before committing (the single
+                // Lanczos run then serves the schedule AND the s-step
+                // basis through `ParPoly::interval`).
+                let mut base = Self::shared(matrix, Arc::new(colors.clone()), Vec::new())?;
+                let raw = raw_jacobi_spectrum(matrix, &base.inv_diag)?;
+                if heuristic && raw.is_degenerate() {
+                    return Self::new(matrix, colors, vec![1.0; m_default.max(1)]);
+                }
+                let interval = safeguard_jacobi_interval(raw);
+                let schedule = PolySchedule::new(kind, interval.min, interval.max, degree)?;
+                base.poly = Some(ParPoly {
+                    kind,
+                    schedule,
+                    interval,
+                });
+                Ok(base)
+            }
         }
     }
 
@@ -526,7 +642,8 @@ impl ParallelMStepPcg {
     ///
     /// [`ParallelSolverOptions::variant`] selects the schedule; a
     /// recurrence run that hits breakdown or detected corruption is rerun
-    /// one **ladder rung** down (Pipelined → SingleReduction → Classic)
+    /// one **ladder rung** down (SStep → Pipelined → SingleReduction →
+    /// Classic)
     /// transparently, counting each step in
     /// [`ParallelSolveReport::recoveries`] (breakdown is decided by
     /// replicated scalars, so every worker — and every rerun — takes the
@@ -598,10 +715,11 @@ impl ParallelMStepPcg {
             },
             max_replacements: opts.recovery.max_replacements,
         };
-        let mut rung = if pinned == PcgVariant::SingleReduction || pinned == PcgVariant::Pipelined {
-            pinned
-        } else {
-            PcgVariant::Classic
+        let mut rung = match pinned {
+            PcgVariant::SingleReduction | PcgVariant::Pipelined | PcgVariant::SStep { .. } => {
+                pinned
+            }
+            _ => PcgVariant::Classic,
         };
         let mut recoveries = 0usize;
         let mut acc_audits = 0usize;
@@ -622,6 +740,7 @@ impl ParallelMStepPcg {
                     acc_faults += faults_detected;
                     recoveries += 1;
                     rung = match rung {
+                        PcgVariant::SStep { .. } => PcgVariant::Pipelined,
                         PcgVariant::Pipelined => PcgVariant::SingleReduction,
                         PcgVariant::SingleReduction => PcgVariant::Classic,
                         // The classic schedule has no fallback exit.
@@ -650,8 +769,31 @@ impl ParallelMStepPcg {
         }
         let single_reduction = variant == PcgVariant::SingleReduction;
         let pipelined = variant == PcgVariant::Pipelined;
+        let sstep_s = match variant {
+            PcgVariant::SStep { s } => s,
+            _ => 0,
+        };
         let m_zero = self.no_msolve();
         let threads = self.resolve_threads(opts.threads);
+
+        // The s-step basis interval is resolved (and cached) on the main
+        // thread before any worker spawns: a failed estimate is a
+        // detected setup fault, not a solve-fatal error — the ladder
+        // steps down onto the Pipelined rung exactly as for an in-loop
+        // breakdown.
+        let sstep_interval = if sstep_s > 0 {
+            match self.sstep_basis_interval() {
+                Ok(interval) => Some(interval),
+                Err(_) => {
+                    return Ok(SolveOutcome::Fallback {
+                        audits: 0,
+                        faults_detected: 1,
+                    })
+                }
+            }
+        } else {
+            None
+        };
 
         // Contiguous ownership strips.
         let strips: Vec<std::ops::Range<usize>> = {
@@ -692,6 +834,30 @@ impl ParallelMStepPcg {
         // sweep and plain-CG configurations.
         let poly_d = SharedVec::zeros(if self.poly.is_some() { n } else { 0 });
         let poly_zb = SharedVec::zeros(if self.poly.is_some() { n } else { 0 });
+        // s-step block storage: six s-column bundles (basis V, A·V and the
+        // parity-double-buffered direction blocks P/AP), the basis temp,
+        // the one fused Gram partial bank (threads × G scalars, G =
+        // s(s+1)/2 + s² + 2s + 1) and the per-sub-step displacement bank
+        // (threads × s). All zero-length off the s-step schedule; the
+        // freshly zeroed P/AP banks are what makes the first block's Gram
+        // sweep over the "previous" parity deterministic.
+        let sstep_cols =
+            |cnt: usize| -> Vec<SharedVec> { (0..cnt).map(|_| SharedVec::zeros(n)).collect() };
+        let sv = SStepVecs {
+            v: sstep_cols(sstep_s),
+            av: sstep_cols(sstep_s),
+            pa: sstep_cols(sstep_s),
+            apa: sstep_cols(sstep_s),
+            pb: sstep_cols(sstep_s),
+            apb: sstep_cols(sstep_s),
+            tv: SharedVec::zeros(if sstep_s > 0 && !m_zero { n } else { 0 }),
+            gram: SharedVec::zeros(if sstep_s > 0 {
+                threads * sstep_gram_len(sstep_s)
+            } else {
+                0
+            }),
+            change: SharedVec::zeros(threads * sstep_s),
+        };
         // Rotating partial banks: a phase's partial writes must never
         // alias a straggler's replicated-reduction reads of the previous
         // bank (at least one barrier always separates a bank's readers
@@ -746,7 +912,7 @@ impl ParallelMStepPcg {
                     (&u, &r, &z, &p, &kp, &y, &w, &bank, &barrier, &iters_out);
                 let (dot_partials, change_partials, rz_partials, ps_partials) =
                     (&dot_partials, &change_partials, &rz_partials, &ps_partials);
-                let (pl, split, pscr) = (&pl, &split, &pscr);
+                let (pl, split, pscr, sv) = (&pl, &split, &pscr, &sv);
                 let (aud, dev_partials) = (&aud, &dev_partials);
                 let this = &*self;
                 // `serialized` pins the shared kernels to this worker:
@@ -754,7 +920,28 @@ impl ParallelMStepPcg {
                 // launches would only add contention.
                 s.spawn(move || {
                     mspcg_sparse::par::serialized(|| {
-                        if pipelined {
+                        if let Some(interval) = sstep_interval {
+                            this.worker_sstep(
+                                t,
+                                strip,
+                                sstep_s,
+                                interval,
+                                sv,
+                                u,
+                                r,
+                                y,
+                                pscr,
+                                f,
+                                aud,
+                                dev_partials,
+                                audit,
+                                plan,
+                                bank,
+                                barrier,
+                                iters_out,
+                                opts,
+                            );
+                        } else if pipelined {
                             this.worker_pipelined(
                                 t,
                                 strip,
@@ -1393,6 +1580,454 @@ impl ParallelMStepPcg {
             alpha = gamma_new / denom;
             gamma = gamma_new;
         }
+    }
+
+    /// The SPMD body of the **s-step** (communication-avoiding) schedule:
+    /// the serial `sstep_loop` arithmetic on barrier-separated phases.
+    /// Per outer step (`s` iterations, sweep = `m·(2C−1)` SSOR barriers
+    /// or `k` polynomial barriers):
+    ///
+    /// ```text
+    /// v₁ ← M⁻¹r                               sweep barriers
+    /// per j = 2…s:
+    ///   A·v_{j−1} ← K·v_{j−1}                 1 barrier   (cross-strip read)
+    ///   t ← M⁻¹(A·v_{j−1})                    sweep barriers
+    ///   vⱼ ← Chebyshev(t, v_{j−1}, v_{j−2})   1 barrier
+    /// A·v_s ← K·v_s ⊕ ALL Gram partials       1 barrier   (THE reduction)
+    /// replicated: Gram sums, B, W, Cholesky,
+    ///   coefficients                           0 barriers  (unanimous)
+    /// P/AP ← V/AV + P'/AP'·B; s sub-steps
+    ///   u += aⱼpⱼ, r −= aⱼapⱼ ⊕ per-sub-step
+    ///   ‖Δu‖∞ partials                         1 barrier   (one mega-phase)
+    /// ```
+    ///
+    /// i.e. `s·m·(2C−1) + 2s` barriers (polynomial: `s·(k+2)`) and **one
+    /// reduction phase** per `s` iterations — the `2s`-reductions-per-`s`
+    /// -iterations floor of the classic schedule amortized into a single
+    /// fused Gram phase. For plain CG (`m = 0`) the basis seed aliases
+    /// the residual (`v₁ ≡ r`, no copy phase) and the Chebyshev step
+    /// fuses into the SpMV phase that produces its operand: `s + 1`
+    /// barriers per outer step.
+    ///
+    /// The replicated small dense work (coupling solve `B = −W'⁻¹G2`,
+    /// Gram assembly, rank-revealing Cholesky) runs identically in every
+    /// worker off the replicated reduced scalars — unanimous branching,
+    /// no broadcast. A rank-truncated factor (`cols < s`, the endgame
+    /// where the Krylov grade runs out mid-block) takes only the leading
+    /// `cols` sub-steps and restarts the recurrence, exactly like the
+    /// serial rung; `cols == 0` and every non-finite scalar step down
+    /// the ladder via FALLBACK (reruns are from scratch, so no rollback
+    /// is needed — except on mid-block *convergence*, where the already
+    /// applied trailing sub-steps are undone own-strip so the reported
+    /// iterate is the accepted one).
+    #[allow(clippy::too_many_arguments)]
+    fn worker_sstep(
+        &self,
+        t: usize,
+        strip: std::ops::Range<usize>,
+        s: usize,
+        interval: SpectralInterval,
+        sv: &SStepVecs,
+        u: &SharedVec,
+        r: &SharedVec,
+        y: &SharedVec,
+        pscr: &PolyScratch<'_>,
+        f: &[f64],
+        aud: &SharedVec,
+        dev_partials: &SharedVec,
+        audit: &ParAudit,
+        plan: Option<&FaultPlan>,
+        bank: &ScalarBank,
+        barrier: &SpinBarrier,
+        iters_out: &SharedVec,
+        opts: &ParallelSolverOptions,
+    ) {
+        let own = strip.clone();
+        let m_zero = self.no_msolve();
+        let threads = sv.change.len() / s;
+        let glen = sstep_gram_len(s);
+        let mut phases = 0usize;
+        let mut audits = 0usize;
+        let mut faults = 0usize;
+        let finish = |code: f64,
+                      iterations: usize,
+                      change: f64,
+                      phases: usize,
+                      audits: usize,
+                      faults: usize| {
+            if t == 0 {
+                unsafe {
+                    bank.set(slot::STOP, code);
+                    iters_out.write_at(0, iterations as f64);
+                    iters_out.write_at(1, change);
+                    iters_out.write_at(2, phases as f64);
+                    iters_out.write_at(3, audits as f64);
+                    iters_out.write_at(5, faults as f64);
+                }
+            }
+        };
+        // Basis column j (`v₁ ≡ r` for plain CG — no copy phase).
+        let vjs: Vec<&SharedVec> = (0..s)
+            .map(|j| if j == 0 && m_zero { r } else { &sv.v[j] })
+            .collect();
+
+        let theta = 0.5 * (interval.max + interval.min);
+        let delta = 0.5 * (interval.max - interval.min);
+        let degenerate = interval.is_degenerate();
+
+        // Replicated dense scratch: every worker computes these
+        // identically from the replicated reduced scalars, so they are
+        // plain locals — no sharing, no broadcast.
+        let mut g1 = vec![0.0; s * s];
+        let mut g2 = vec![0.0; s * s];
+        let mut gv = vec![0.0; s];
+        let mut gp = vec![0.0; s];
+        let mut bmat = vec![0.0; s * s];
+        let mut wfac_a = vec![0.0; s * s];
+        let mut wfac_b = vec![0.0; s * s];
+        let mut gcur = vec![0.0; s];
+        let mut acoef = vec![0.0; s];
+        let mut red = vec![0.0; glen];
+
+        let mut completed = 0usize;
+        let mut change = f64::INFINITY;
+        let mut first_block = true;
+        let mut parity = false;
+
+        while completed + s <= opts.max_iterations {
+            // --- audit between outer steps (state after the previous
+            // block), due when any of the block's sub-step indices hits
+            // the schedule. Detector-only: divergence steps down the
+            // ladder (rung reruns restart from u = 0).
+            if audit.enabled
+                && (completed + 1..=completed + s).any(|i| audit_due(i, 0, audit.period))
+            {
+                let dev2 = self.audit_phase(&own, t, f, u, r, aud, dev_partials, barrier);
+                audits += 1;
+                if diverged(dev2, audit.bound2) {
+                    finish(status::FALLBACK, completed, change, phases, audits, faults);
+                    return;
+                }
+            }
+            let (p_cur, ap_cur, p_prev, ap_prev) = if parity {
+                (&sv.pb, &sv.apb, &sv.pa, &sv.apa)
+            } else {
+                (&sv.pa, &sv.apa, &sv.pb, &sv.apb)
+            };
+            let (wfac_cur, wfac_prev) = if parity {
+                (&mut wfac_b, &wfac_a)
+            } else {
+                (&mut wfac_a, &wfac_b)
+            };
+
+            // --- basis block: v₁ = M⁻¹r, then the Chebyshev three-term
+            // recurrence (planned faults land per sub-step index:
+            // msolve j at iteration completed + j, SpMV j likewise).
+            if !m_zero {
+                self.msolve_phases(&own, t, r, &sv.v[0], y, pscr, None, None, barrier);
+                self.inject_msolve_fault(plan, completed, &own, &sv.v[0], None, barrier);
+            }
+            for j in 1..s {
+                unsafe {
+                    let vin = vjs[j - 1].read();
+                    let out = sv.av[j - 1].write(own.clone());
+                    self.strip_spmv(vin, out, own.clone());
+                    if let Some((index, kind)) =
+                        claim_fault(plan, FaultTarget::Spmv, completed + j - 1, &own)
+                    {
+                        out[index - own.start] = perturb(out[index - own.start], kind);
+                    }
+                    if m_zero {
+                        // M = I: t ≡ A·v_{j−1}, freshly written own-strip
+                        // above — the Chebyshev step fuses into this
+                        // phase (all operands own-strip).
+                        let vp = &vin[own.clone()];
+                        let vj_out = sv.v[j].write(own.clone());
+                        if degenerate {
+                            vecops::fused_cheb_basis(1.0 / theta, 0.0, 0.0, out, vp, vp, vj_out);
+                        } else if j == 1 {
+                            vecops::fused_cheb_basis(1.0 / delta, theta, 0.0, out, vp, vp, vj_out);
+                        } else {
+                            let vpp = &vjs[j - 2].read()[own.clone()];
+                            vecops::fused_cheb_basis(2.0 / delta, theta, 1.0, out, vp, vpp, vj_out);
+                        }
+                    }
+                }
+                barrier.wait();
+                if !m_zero {
+                    self.msolve_phases(
+                        &own,
+                        t,
+                        &sv.av[j - 1],
+                        &sv.tv,
+                        y,
+                        pscr,
+                        None,
+                        None,
+                        barrier,
+                    );
+                    self.inject_msolve_fault(plan, completed + j, &own, &sv.tv, None, barrier);
+                    unsafe {
+                        let tvo = &sv.tv.read()[own.clone()];
+                        let vp = &sv.v[j - 1].read()[own.clone()];
+                        let vj_out = sv.v[j].write(own.clone());
+                        if degenerate {
+                            // Collapsed interval: scaled-monomial
+                            // fallback vⱼ = t/θ.
+                            vecops::fused_cheb_basis(1.0 / theta, 0.0, 0.0, tvo, vp, vp, vj_out);
+                        } else if j == 1 {
+                            vecops::fused_cheb_basis(1.0 / delta, theta, 0.0, tvo, vp, vp, vj_out);
+                        } else {
+                            let vpp = &sv.v[j - 2].read()[own.clone()];
+                            vecops::fused_cheb_basis(2.0 / delta, theta, 1.0, tvo, vp, vpp, vj_out);
+                        }
+                    }
+                    barrier.wait();
+                }
+            }
+
+            // --- final SpMV completes A·V ⊕ ALL Gram partials ride this
+            // phase — THE one reduction of the block. Every operand of
+            // every partial is own-strip: A·V columns were written by
+            // this worker in this block's SpMV phases, V/P'/AP'/r were
+            // finalized by earlier barriers.
+            unsafe {
+                let vin = vjs[s - 1].read();
+                let out = sv.av[s - 1].write(own.clone());
+                self.strip_spmv(vin, out, own.clone());
+                if let Some((index, kind)) =
+                    claim_fault(plan, FaultTarget::Spmv, completed + s - 1, &own)
+                {
+                    out[index - own.start] = perturb(out[index - own.start], kind);
+                }
+                let g = sv.gram.write(t * glen..(t + 1) * glen);
+                let mut gi = 0usize;
+                for i in 0..s {
+                    let avi = &sv.av[i].read()[own.clone()];
+                    for j in 0..=i {
+                        g[gi] = vecops::dot(&vjs[j].read()[own.clone()], avi);
+                        gi += 1;
+                    }
+                }
+                for i in 0..s {
+                    let api = &ap_prev[i].read()[own.clone()];
+                    for j in 0..s {
+                        g[gi] = vecops::dot(api, &vjs[j].read()[own.clone()]);
+                        gi += 1;
+                    }
+                }
+                let rv = &r.read()[own.clone()];
+                for j in 0..s {
+                    g[gi] = vecops::dot(&vjs[j].read()[own.clone()], rv);
+                    gi += 1;
+                }
+                for j in 0..s {
+                    g[gi] = vecops::dot(&p_prev[j].read()[own.clone()], rv);
+                    gi += 1;
+                }
+                g[gi] = vecops::dot(rv, rv);
+            }
+            barrier.wait();
+
+            // --- replicated Gram reduction (ascending worker order) ----
+            unsafe {
+                let bankv = sv.gram.read();
+                for x in red.iter_mut() {
+                    *x = 0.0;
+                }
+                for row in 0..threads {
+                    let base = row * glen;
+                    for (i, x) in red.iter_mut().enumerate() {
+                        *x += bankv[base + i];
+                    }
+                }
+            }
+            phases += 1;
+            if red.iter().any(|x| !x.is_finite()) {
+                faults += 1;
+                finish(status::FALLBACK, completed, change, phases, audits, faults);
+                return;
+            }
+            let mut gi = 0usize;
+            for i in 0..s {
+                for j in 0..=i {
+                    g1[i * s + j] = red[gi];
+                    g1[j * s + i] = red[gi];
+                    gi += 1;
+                }
+            }
+            for x in g2.iter_mut() {
+                *x = red[gi];
+                gi += 1;
+            }
+            for x in gv.iter_mut() {
+                *x = red[gi];
+                gi += 1;
+            }
+            for x in gp.iter_mut() {
+                *x = red[gi];
+                gi += 1;
+            }
+            // gv[0] = (M⁻¹r, r) is a fresh quadratic form every block.
+            if gv[0] < 0.0 {
+                finish(
+                    status::INDEFINITE_M,
+                    completed,
+                    change,
+                    phases,
+                    audits,
+                    faults,
+                );
+                return;
+            }
+            if gv[0] == 0.0 {
+                // Exact convergence: r = 0 under an SPD preconditioner.
+                let c = if change.is_finite() { change } else { 0.0 };
+                finish(status::CONVERGED, completed, c, phases, audits, faults);
+                return;
+            }
+
+            // --- replicated small dense work (identical in every
+            // worker): B = −W'⁻¹G2, W = G1 + G2ᵀB, g = gv + Bᵀgp,
+            // rank-revealing Cholesky, coefficients. The first block has
+            // B = 0 (and freshly zeroed P'/AP' banks), which reduces the
+            // generic path to P = V, W = G1, g = gv.
+            if first_block {
+                for x in bmat.iter_mut() {
+                    *x = 0.0;
+                }
+            } else {
+                for j in 0..s {
+                    for i in 0..s {
+                        acoef[i] = -g2[i * s + j];
+                    }
+                    small_cholesky_solve(wfac_prev, s, s, &mut acoef);
+                    for i in 0..s {
+                        bmat[i * s + j] = acoef[i];
+                    }
+                }
+            }
+            for i in 0..s {
+                for j in 0..=i {
+                    let mut sum = g1[i * s + j];
+                    for q in 0..s {
+                        sum += g2[q * s + i] * bmat[q * s + j];
+                    }
+                    wfac_cur[i * s + j] = sum;
+                }
+            }
+            for j in 0..s {
+                let mut sum = gv[j];
+                for i in 0..s {
+                    sum += bmat[i * s + j] * gp[i];
+                }
+                gcur[j] = sum;
+            }
+            let cols = small_cholesky_factor(wfac_cur, s);
+            if cols == 0 {
+                // Numerically collapsed basis: step down the ladder.
+                finish(status::FALLBACK, completed, change, phases, audits, faults);
+                return;
+            }
+            acoef.copy_from_slice(&gcur);
+            small_cholesky_solve(wfac_cur, s, cols, &mut acoef);
+            if acoef[..cols].iter().any(|x| !x.is_finite()) {
+                faults += 1;
+                finish(status::FALLBACK, completed, change, phases, audits, faults);
+                return;
+            }
+
+            // --- update mega-phase: P = V + P'B, AP = AV + AP'B, then
+            // the `cols` local sub-steps on the classic fused update
+            // kernel — all own-strip, ONE barrier. The per-sub-step
+            // displacement partials ride the kernel itself.
+            unsafe {
+                for j in 0..s {
+                    let po = p_cur[j].write(own.clone());
+                    po.copy_from_slice(&vjs[j].read()[own.clone()]);
+                    for i in 0..s {
+                        vecops::axpy(bmat[i * s + j], &p_prev[i].read()[own.clone()], po);
+                    }
+                    let apo = ap_cur[j].write(own.clone());
+                    apo.copy_from_slice(&sv.av[j].read()[own.clone()]);
+                    for i in 0..s {
+                        vecops::axpy(bmat[i * s + j], &ap_prev[i].read()[own.clone()], apo);
+                    }
+                }
+                for j in 0..cols {
+                    let alpha = acoef[j];
+                    let uo = u.write(own.clone());
+                    let ro = r.write(own.clone());
+                    let norms = vecops::fused_axpy_axpy_norm(
+                        alpha,
+                        &p_cur[j].read()[own.clone()],
+                        &ap_cur[j].read()[own.clone()],
+                        uo,
+                        ro,
+                    );
+                    sv.change
+                        .write_at(t * s + j, alpha.abs() * norms.p_norm_inf);
+                }
+            }
+            barrier.wait();
+
+            // --- replicated per-sub-step stopping scan (flag network):
+            // ascending j, first sub-step under tolerance wins.
+            let chv = unsafe { sv.change.read() };
+            for j in 0..cols {
+                let cj = (0..threads).fold(0.0f64, |acc, row| acc.max(chv[row * s + j]));
+                if !cj.is_finite() {
+                    // ‖Δu‖∞ swallows NaN but surfaces Inf: a poisoned
+                    // update — reruns restart from scratch, no rollback.
+                    faults += 1;
+                    finish(
+                        status::FALLBACK,
+                        completed + j + 1,
+                        cj,
+                        phases,
+                        audits,
+                        faults,
+                    );
+                    return;
+                }
+                change = cj;
+                if cj < opts.tol {
+                    // Converged mid-block: the trailing sub-steps were
+                    // already applied — undo them own-strip so the
+                    // reported iterate is the accepted one (the scan is
+                    // replicated, so the rollback is unanimous; no
+                    // barrier needed — only own strips are touched and
+                    // the scope join publishes them).
+                    unsafe {
+                        let uo = u.write(own.clone());
+                        for jj in j + 1..cols {
+                            let alpha = acoef[jj];
+                            let pj = &p_cur[jj].read()[own.clone()];
+                            for (k, pk) in pj.iter().enumerate() {
+                                uo[k] -= alpha * pk;
+                            }
+                        }
+                    }
+                    finish(
+                        status::CONVERGED,
+                        completed + j + 1,
+                        cj,
+                        phases,
+                        audits,
+                        faults,
+                    );
+                    return;
+                }
+            }
+            completed += cols;
+            // An endgame-truncated block leaves no full-rank carried
+            // factor to conjugate against — restart the recurrence.
+            first_block = cols < s;
+            parity = !parity;
+        }
+        // Budget exhausted (including a final sliver shorter than one
+        // block).
+        finish(status::BUDGET, completed, change, phases, audits, faults);
     }
 
     /// The SPMD body of the **pipelined** (Ghysels–Vanroose) schedule.
@@ -2144,6 +2779,82 @@ impl ParallelMStepPcg {
             s += self.values[k] * x[self.col_idx[k] as usize];
         }
         s
+    }
+
+    /// Single-threaded replica of the [`ParallelMStepPcg::msolve_phases`]
+    /// SSOR arithmetic (`z ← M⁻¹ r`, ω = 1) off the extracted sweep
+    /// table: same color order, same fused `w₀ = 0` first step, same
+    /// half-sum cache — term for term, so the Lanczos probe below sees
+    /// exactly the operator the workers apply. Requires nonempty
+    /// `alphas`; `y` is the caller-owned half-sum cache.
+    fn serial_msolve(&self, r: &[f64], z: &mut [f64], y: &mut [f64]) {
+        let m = self.alphas.len();
+        let nb = self.colors.num_blocks();
+        for s in 1..=m {
+            let alpha = self.alphas[m - s];
+            let first_step = s == 1;
+            for c in 0..nb {
+                let last = c == nb - 1;
+                for i in self.colors.range(c) {
+                    let lower = self.half_sum(i, z, true);
+                    let upper = if last || first_step { 0.0 } else { y[i] };
+                    z[i] = (alpha * r[i] - lower - upper) * self.inv_diag[i];
+                    y[i] = lower;
+                }
+            }
+            for c in (0..nb.saturating_sub(1)).rev() {
+                for i in self.colors.range(c) {
+                    let upper = self.half_sum(i, z, false);
+                    let lower = y[i];
+                    z[i] = (alpha * r[i] - lower - upper) * self.inv_diag[i];
+                    y[i] = upper;
+                }
+            }
+        }
+    }
+
+    /// Eigenvalue bounds for the s-step Chebyshev basis recurrence —
+    /// the SPMD counterpart of the serial solver's interval cache,
+    /// sourced in the same priority order:
+    ///
+    /// 1. the polynomial configuration's construction-time interval
+    ///    ([`ParPoly::interval`]) — the poly-precond ↔ s-step-basis half
+    ///    of the one-estimate-per-operator cache, no second Lanczos run;
+    /// 2. the instance-cached interval from an earlier s-step solve;
+    /// 3. a fresh estimate, cached for every later solve: Lanczos (same
+    ///    budget/seed/safeguard recipe as the serial rung) on the
+    ///    composite `x ↦ M⁻¹(K x)` — `M⁻¹` evaluated by the
+    ///    [`ParallelMStepPcg::serial_msolve`] replica so the probed
+    ///    operator is bitwise the workers' — or on `K` itself for plain
+    ///    CG. Runs on the main thread before any worker spawns.
+    ///
+    /// # Errors
+    /// Lanczos breakdown ([`SparseError`] pass-through); the caller
+    /// treats it as a detected setup fault and steps down the ladder.
+    fn sstep_basis_interval(&self) -> Result<SpectralInterval, SparseError> {
+        if let Some(p) = &self.poly {
+            return Ok(p.interval);
+        }
+        if let Some(cached) = self.sstep_interval.get() {
+            return Ok(*cached);
+        }
+        let n = self.dim();
+        let est = {
+            let mut tmp = vec![0.0; n];
+            let mut ycache = vec![0.0; n];
+            lanczos_extremes(n, SSTEP_SPECTRUM_STEPS, SSTEP_SPECTRUM_SEED, |x, out| {
+                if self.alphas.is_empty() {
+                    self.strip_spmv(x, out, 0..n);
+                } else {
+                    self.strip_spmv(x, &mut tmp, 0..n);
+                    self.serial_msolve(&tmp, out, &mut ycache);
+                }
+            })?
+        };
+        let interval = safeguard_jacobi_interval(est);
+        // A racing second estimate computed the same value (the recipe
+        // is deterministic), so first-write-wins is harmless.
+        Ok(*self.sstep_interval.get_or_init(|| interval))
     }
 }
 
@@ -3179,6 +3890,320 @@ mod tests {
             for (x, v) in rep.x.iter().zip(&exact) {
                 assert!((x - v).abs() < 1e-5, "{x} vs {v}");
             }
+        }
+    }
+
+    #[test]
+    fn auto_heuristic_falls_back_to_ssor_on_degenerate_spectrum() {
+        // K = 3I in a 2-color blocking: the barrier-cost heuristic alone
+        // picks the polynomial (2C−1 = 3 > 2), but the Jacobi spectrum of
+        // a scaled identity is the single point {1} — the RAW Lanczos
+        // interval is degenerate, so the SPMD auto constructor must
+        // revise the heuristic choice down to m-step SSOR, exactly like
+        // [`mspcg_core::auto_preconditioner`].
+        let n = 12;
+        let mut c = mspcg_sparse::CooMatrix::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 3.0).unwrap();
+        }
+        let a = c.to_csr();
+        let colors = Partition::from_sizes(&[6, 6]).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        if mspcg_sparse::tuning::forced_precond().is_none() {
+            // Sanity: the heuristic alone WOULD pick the polynomial here.
+            assert!(matches!(
+                PrecondKind::Auto.resolve(colors.num_blocks(), 2),
+                PrecondKind::Poly { .. }
+            ));
+            let auto = ParallelMStepPcg::auto(&a, &colors, 2, PrecondKind::Auto).unwrap();
+            assert_eq!(auto.precond(), PrecondKind::MStepSsor { m: 2 });
+            let rep = auto
+                .solve(&rhs, &variant_opts(PcgVariant::Classic, 2, 1e-10))
+                .unwrap();
+            assert!(rep.converged);
+            for (x, f) in rep.x.iter().zip(&rhs) {
+                assert!((x - f / 3.0).abs() < 1e-10, "{x} vs {}", f / 3.0);
+            }
+        }
+        // A *pinned* polynomial stays pinned on the same spectrum: its
+        // schedule absorbs the degenerate (safeguard-widened) interval.
+        let pinned = ParallelMStepPcg::auto(
+            &a,
+            &colors,
+            2,
+            PrecondKind::Poly {
+                kind: PolyKind::Chebyshev,
+                degree: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            pinned.precond(),
+            PrecondKind::Poly {
+                kind: PolyKind::Chebyshev,
+                degree: 2
+            }
+        );
+    }
+
+    // ------------------- s-step schedule --------------------------------
+
+    #[test]
+    fn sstep_matches_classic_solution() {
+        let (a, colors, rhs) = plate(8);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let classic = par
+            .solve(&rhs, &variant_opts(PcgVariant::Classic, 4, 1e-8))
+            .unwrap();
+        for s in [2usize, 4] {
+            let st = par
+                .solve(&rhs, &variant_opts(PcgVariant::SStep { s }, 4, 1e-8))
+                .unwrap();
+            assert!(st.converged, "s = {s}");
+            assert_eq!(
+                st.variant,
+                PcgVariant::SStep { s },
+                "fell back unexpectedly, s = {s}"
+            );
+            // Block-granular basis restarts cost at most a block of slack.
+            assert!(
+                (classic.iterations as isize - st.iterations as isize).abs()
+                    <= (2 * s + 2) as isize,
+                "classic {} vs s-step({s}) {}",
+                classic.iterations,
+                st.iterations
+            );
+            for (x, y) in classic.x.iter().zip(&st.x) {
+                assert!((x - y).abs() < 1e-6, "{x} vs {y}, s = {s}");
+            }
+        }
+    }
+
+    /// The acceptance gate of the s-step schedule, by exact formula: for
+    /// `B = ⌈I/s⌉` outer steps of a converged `I`-iteration run,
+    ///
+    /// * **reduction phases `B`** — ONE fused Gram phase per `s`
+    ///   iterations (no init phase), against the classic `2I` and the
+    ///   single-reduction/pipelined `I + 1`;
+    /// * **spin crossings `B·(s·sweep + 2s)`** for m ≥ 1 (`sweep =
+    ///   m(2C−1)`) and `B·(s + 1)` for plain CG, where `v₁ ≡ r` and the
+    ///   Chebyshev step fuses into the SpMV phase;
+    /// * **split crossings 0** — every reduction blocks at a spin
+    ///   barrier.
+    #[test]
+    fn barrier_counter_proves_sstep_schedule() {
+        let (a, colors, rhs) = plate(8);
+        let c = colors.num_blocks();
+        for m in [0usize, 1, 2] {
+            let par = ParallelMStepPcg::new(&a, &colors, vec![1.0; m]).unwrap();
+            let sweep = m * (2 * c - 1);
+            for s in [2usize, 4] {
+                for threads in [1usize, 4] {
+                    let rep = par
+                        .solve(&rhs, &variant_opts(PcgVariant::SStep { s }, threads, 1e-8))
+                        .unwrap();
+                    assert!(rep.converged);
+                    assert_eq!(
+                        rep.variant,
+                        PcgVariant::SStep { s },
+                        "fell back, m = {m}, s = {s}, threads = {threads}"
+                    );
+                    let blocks = rep.iterations.div_ceil(s);
+                    assert_eq!(
+                        rep.reduction_phases, blocks,
+                        "ONE reduction phase per {s} iterations, m = {m}, threads = {threads}"
+                    );
+                    let per_block = if m == 0 { s + 1 } else { s * sweep + 2 * s };
+                    assert_eq!(
+                        rep.barrier_crossings,
+                        blocks * per_block,
+                        "s-step barrier count, m = {m}, s = {s}, threads = {threads}"
+                    );
+                    assert_eq!(rep.split_crossings, 0);
+                }
+            }
+        }
+    }
+
+    /// s-step over the polynomial msolve: `s(k+2)` barriers per outer
+    /// step (each of the `s` basis msolves costs `k`, each SpMV and each
+    /// Chebyshev step one), still ONE reduction phase per `s` iterations
+    /// — and the basis interval is the polynomial's construction-time
+    /// estimate, so no second Lanczos run happens (asserted indirectly:
+    /// the schedule is exact from the first solve).
+    #[test]
+    fn barrier_counter_proves_sstep_polynomial_schedule() {
+        let (a, colors, rhs) = plate(8);
+        for k in [2usize, 4] {
+            let par = ParallelMStepPcg::poly(&a, &colors, PolyKind::Chebyshev, k).unwrap();
+            for s in [2usize, 4] {
+                for threads in [1usize, 4] {
+                    let rep = par
+                        .solve(&rhs, &variant_opts(PcgVariant::SStep { s }, threads, 1e-8))
+                        .unwrap();
+                    assert!(rep.converged);
+                    assert_eq!(
+                        rep.variant,
+                        PcgVariant::SStep { s },
+                        "fell back, k = {k}, s = {s}, threads = {threads}"
+                    );
+                    let blocks = rep.iterations.div_ceil(s);
+                    assert_eq!(rep.reduction_phases, blocks);
+                    assert_eq!(
+                        rep.barrier_crossings,
+                        blocks * (s * (k + 2)),
+                        "s-step poly barrier count, k = {k}, s = {s}, threads = {threads}"
+                    );
+                    assert_eq!(rep.split_crossings, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sstep_is_deterministic_and_format_insensitive() {
+        let (a, colors, rhs) = plate(7);
+        let sell = mspcg_sparse::SellCsMatrix::from_csr_default(&a);
+        let par_csr = ParallelMStepPcg::new(&a, &colors, vec![1.0; 2]).unwrap();
+        let par_sell = ParallelMStepPcg::new(&sell, &colors, vec![1.0; 2]).unwrap();
+        let opts = variant_opts(PcgVariant::SStep { s: 4 }, 4, 1e-8);
+        let r1 = par_csr.solve(&rhs, &opts).unwrap();
+        let r2 = par_csr.solve(&rhs, &opts).unwrap();
+        // Bitwise reproducible within the variant (the cached interval
+        // makes the second solve replay the first's basis exactly).
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x);
+        // And across storage formats: the extracted sweep table — and
+        // therefore the Lanczos probe and the interval — is identical.
+        let rs = par_sell.solve(&rhs, &opts).unwrap();
+        assert_eq!(r1.iterations, rs.iterations);
+        assert!(r1
+            .x
+            .iter()
+            .zip(&rs.x)
+            .all(|(u, v)| u.to_bits() == v.to_bits()));
+    }
+
+    #[test]
+    fn sstep_thread_count_insensitive_result() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let solve = |threads: usize| {
+            par.solve(
+                &rhs,
+                &variant_opts(PcgVariant::SStep { s: 2 }, threads, 1e-9),
+            )
+            .unwrap()
+        };
+        let r1 = solve(1);
+        let r4 = solve(4);
+        assert_eq!(r1.iterations, r4.iterations);
+        for (u, v) in r1.x.iter().zip(&r4.x) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    /// The four-rung ladder walk: the persistent msolve fault poisons the
+    /// s-step basis (detected at the fused Gram phase), re-fires on the
+    /// pipelined and single-reduction reruns, and is absorbed in place by
+    /// the classic rung — four detections, three step-downs, one
+    /// replacement.
+    #[test]
+    fn sstep_walks_the_full_ladder_under_persistent_fault() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let rep = par
+            .solve_with_faults(
+                &rhs,
+                &variant_opts(PcgVariant::SStep { s: 4 }, 4, 1e-8),
+                &nan_msolve_at(2),
+            )
+            .unwrap();
+        assert!(rep.converged);
+        assert_eq!(rep.variant, PcgVariant::Classic);
+        assert_eq!(
+            (
+                rep.faults_detected,
+                rep.replacements,
+                rep.recoveries,
+                rep.audits
+            ),
+            (4, 1, 3, 0)
+        );
+        for (x, v) in rep.x.iter().zip(&exact_solution(&a, &rhs)) {
+            assert!((x - v).abs() < 1e-5, "{x} vs {v}");
+        }
+    }
+
+    /// The audit is detector-only on the s-step rung too: one extra
+    /// barrier per audited block, no reduction phase, and a bitwise
+    /// untouched iterate stream.
+    #[test]
+    fn sstep_audit_costs_one_barrier_per_audited_block() {
+        let (a, colors, rhs) = plate(8);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        let off = par
+            .solve(&rhs, &variant_opts(PcgVariant::SStep { s: 2 }, 4, 1e-8))
+            .unwrap();
+        let mut opts = variant_opts(PcgVariant::SStep { s: 2 }, 4, 1e-8);
+        opts.recovery = RecoveryPolicy {
+            replacement: mspcg_core::recovery::Toggle::On,
+            audit_period: 4,
+            ..RecoveryPolicy::default()
+        };
+        let on = par.solve(&rhs, &opts).unwrap();
+        assert!(on.converged);
+        assert_eq!(on.iterations, off.iterations);
+        assert!(on
+            .x
+            .iter()
+            .zip(&off.x)
+            .all(|(u, v)| u.to_bits() == v.to_bits()));
+        assert!(on.audits >= 1);
+        assert_eq!(on.barrier_crossings, off.barrier_crossings + on.audits);
+        assert_eq!(on.reduction_phases, off.reduction_phases);
+        assert_eq!(
+            (on.replacements, on.recoveries, on.faults_detected),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn sstep_budget_and_sliver_are_exhaustion() {
+        let (a, colors, rhs) = plate(6);
+        let par = ParallelMStepPcg::new(&a, &colors, vec![1.0]).unwrap();
+        // An unreachable tolerance exhausts whole blocks.
+        let err = par.solve(
+            &rhs,
+            &ParallelSolverOptions {
+                threads: 2,
+                tol: 1e-14,
+                max_iterations: 4,
+                variant: PcgVariant::SStep { s: 2 },
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            err,
+            Err(SparseError::DidNotConverge { iterations: 4, .. })
+        ));
+        // A budget shorter than one block never starts (the sliver is
+        // exhaustion, not convergence) — and so is a zero budget.
+        for max_iterations in [2usize, 0] {
+            let err = par.solve(
+                &rhs,
+                &ParallelSolverOptions {
+                    threads: 2,
+                    tol: 1e-8,
+                    max_iterations,
+                    variant: PcgVariant::SStep { s: 4 },
+                    ..Default::default()
+                },
+            );
+            assert!(
+                matches!(err, Err(SparseError::DidNotConverge { iterations: 0, .. })),
+                "max_iterations = {max_iterations}"
+            );
         }
     }
 }

@@ -54,6 +54,20 @@ impl SpectralInterval {
             self.max / self.min
         }
     }
+
+    /// Whether the interval is numerically a single point: the half-span
+    /// `δ = (max − min)/2` is negligible against the midpoint
+    /// `θ = (max + min)/2`. This happens on a scaled identity, a 1×1
+    /// operator, or an early invariant-subspace break — spectra on which
+    /// a Chebyshev three-term recurrence is ill-defined (`δ → 0`), so
+    /// interval consumers (polynomial schedules, the s-step basis, the
+    /// Auto preconditioner heuristic) must take their degenerate path.
+    /// Same test as the `PolySchedule` Richardson fallback.
+    pub fn is_degenerate(self) -> bool {
+        let theta = 0.5 * (self.max + self.min);
+        let delta = 0.5 * (self.max - self.min);
+        delta <= theta * 1e-12
+    }
 }
 
 /// Deterministic pseudo-random unit starting vector (xorshift; avoids an

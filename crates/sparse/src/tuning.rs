@@ -16,7 +16,7 @@
 //! | `MSPCG_PAR_MIN_NNZ` | [`DEFAULT_PAR_MIN_NNZ`] | sparse kernels (SpMV, SSOR sweeps) with fewer stored entries run serially |
 //! | `MSPCG_MIN_SPMV_CHUNK_NNZ` | [`DEFAULT_MIN_SPMV_CHUNK_NNZ`] | minimum stored entries per nnz-weighted SpMV chunk |
 //! | `MSPCG_FORCE_FORMAT` | *(unset)* | pin [`crate::op::AutoOp`] to one storage format (`csr` or `sellcs`) |
-//! | `MSPCG_PCG_VARIANT` | *(unset)* | pin the PCG iteration variant (`classic`, `single_reduction` or `pipelined`) for every solver whose options leave the variant on automatic |
+//! | `MSPCG_PCG_VARIANT` | *(unset)* | pin the PCG iteration variant (`classic`, `single_reduction`, `pipelined` or `sstep:S` with `2 ≤ S ≤ 16`) for every solver whose options leave the variant on automatic |
 //! | `MSPCG_PRECOND` | *(unset)* | pin the preconditioner for every solver whose selection is on automatic: `mstep:M` / `ssor:M` for the m-step multicolor SSOR, `chebyshev:K` / `newton:K` for the degree-`K` polynomial |
 //! | `MSPCG_AUDIT_PERIOD` | [`DEFAULT_AUDIT_PERIOD`] | iterations between true-residual audits when residual replacement is active |
 //! | `MSPCG_RESIDUAL_REPLACEMENT` | *(unset)* | force residual auditing + replacement on (`1`/`true`/`on`) or off (`0`/`false`/`off`) for every solver whose recovery policy is on automatic |
@@ -205,12 +205,34 @@ pub enum PcgVariant {
     /// iteration and **consumed after** them — the reduction latency
     /// hides behind the heaviest phase instead of merely being fused.
     Pipelined,
+    /// s-step (communication-avoiding) CG: per outer step build an
+    /// `s`-dimensional Krylov block with a Chebyshev-basis three-term
+    /// recurrence on the cached Lanczos interval, amortize **all** inner
+    /// products into **one** fused Gram-matrix reduction phase per `s`
+    /// iterations, and advance the iterate through `s` local update
+    /// sub-steps from a replicated small dense Cholesky solve.
+    SStep {
+        /// Iterations per outer step (block width); `2 ..= MAX_SSTEP_S`.
+        s: usize,
+    },
 }
+
+/// Largest block width the `sstep:S` syntax accepts. The Chebyshev basis
+/// keeps an s-dimensional block well conditioned for moderate `s`, but the
+/// Gram system is solved in replicated O(s³) scalar work per outer step
+/// and basis conditioning still degrades with `s` — an absurd width is a
+/// misconfiguration, not a tuning choice, and is rejected like `0`.
+pub const MAX_SSTEP_S: usize = 16;
+
+/// Largest `M`/`K` the `mstep:M` / `chebyshev:K` / `newton:K` syntax
+/// accepts. Preconditioner work grows linearly in the parameter while the
+/// iteration-count payoff saturates long before this; values past the cap
+/// are misconfigurations and are rejected like `0`.
+pub const MAX_PRECOND_PARAM: usize = 64;
 
 impl PcgVariant {
     /// Resolve [`PcgVariant::Auto`] against the environment override;
-    /// `Classic` and `SingleReduction` pass through unchanged. The result
-    /// is never `Auto`.
+    /// pinned variants pass through unchanged. The result is never `Auto`.
     pub fn resolve(self) -> PcgVariant {
         match self {
             PcgVariant::Auto => forced_pcg_variant().unwrap_or(PcgVariant::Classic),
@@ -220,11 +242,27 @@ impl PcgVariant {
 }
 
 /// Parse an `MSPCG_PCG_VARIANT` value: `Some(variant)` for a known name
-/// (`classic` / `single_reduction` / `pipelined`, case-insensitive, with
-/// the `single-reduction` / `sr` and `gv` aliases), `None` for anything
-/// else.
+/// (`classic` / `single_reduction` / `pipelined` / `sstep:S`,
+/// case-insensitive, with the `single-reduction` / `sr` and `gv` aliases),
+/// `None` for anything else. The `sstep:S` block width is validated here,
+/// not at use: `s = 0` and `s = 1` are degenerate (a one-wide "block" is
+/// the single-reduction iteration with extra overhead) and `S` past
+/// [`MAX_SSTEP_S`] is a misconfiguration, so all three are rejected and
+/// [`forced_pcg_variant`] falls back to the default exactly like
+/// `MSPCG_THREADS` does on a zero thread budget.
 pub fn parse_variant(raw: &str) -> Option<PcgVariant> {
-    match raw.trim().to_ascii_lowercase().as_str() {
+    let lower = raw.trim().to_ascii_lowercase();
+    if let Some((name, width)) = lower.split_once(':') {
+        if name.trim() != "sstep" {
+            return None;
+        }
+        let s = parse_positive(width)?;
+        if (2..=MAX_SSTEP_S).contains(&s) {
+            return Some(PcgVariant::SStep { s });
+        }
+        return None;
+    }
+    match lower.as_str() {
         "classic" => Some(PcgVariant::Classic),
         "single_reduction" | "single-reduction" | "sr" => Some(PcgVariant::SingleReduction),
         "pipelined" | "gv" => Some(PcgVariant::Pipelined),
@@ -245,7 +283,8 @@ pub fn forced_pcg_variant() -> Option<PcgVariant> {
             let parsed = parse_variant(&v);
             debug_assert!(
                 parsed.is_some(),
-                "MSPCG_PCG_VARIANT must be `classic`, `single_reduction` or `pipelined`, got {v:?}"
+                "MSPCG_PCG_VARIANT must be `classic`, `single_reduction`, `pipelined` or \
+                 `sstep:S` (2 ≤ S ≤ {MAX_SSTEP_S}), got {v:?}"
             );
             parsed
         }
@@ -329,11 +368,14 @@ impl PrecondKind {
 /// `name:positive-integer` pair (`mstep:M` / `ssor:M` for
 /// [`PrecondKind::MStepSsor`], `chebyshev:K` / `cheby:K` / `newton:K` for
 /// [`PrecondKind::Poly`], case-insensitive), `None` for anything else —
-/// the same pure-function validation shape as [`parse_variant`].
+/// the same pure-function validation shape as [`parse_variant`],
+/// including the upper bound: parameters past [`MAX_PRECOND_PARAM`] are
+/// rejected like `0`, so `forced_precond` debug-asserts and falls back to
+/// the heuristic instead of constructing an absurd sweep count or degree.
 pub fn parse_precond(raw: &str) -> Option<PrecondKind> {
     let lower = raw.trim().to_ascii_lowercase();
     let (name, count) = lower.split_once(':')?;
-    let n = parse_positive(count)?;
+    let n = parse_positive(count).filter(|&n| n <= MAX_PRECOND_PARAM)?;
     match name.trim() {
         "mstep" | "ssor" => Some(PrecondKind::MStepSsor { m: n }),
         "chebyshev" | "cheby" => Some(PrecondKind::Poly {
@@ -454,6 +496,32 @@ mod tests {
     }
 
     #[test]
+    fn parse_variant_validates_sstep_width() {
+        assert_eq!(parse_variant("sstep:2"), Some(PcgVariant::SStep { s: 2 }));
+        assert_eq!(parse_variant(" SStep:4 "), Some(PcgVariant::SStep { s: 4 }));
+        assert_eq!(
+            parse_variant("sstep:16"),
+            Some(PcgVariant::SStep { s: MAX_SSTEP_S })
+        );
+        // Pathological widths fall back to the default (via the
+        // forced_pcg_variant debug assertion), exactly like MSPCG_THREADS:
+        // s = 0 is empty, s = 1 is the single-reduction iteration with
+        // extra overhead, and an absurd s is a misconfiguration.
+        assert_eq!(parse_variant("sstep:0"), None);
+        assert_eq!(parse_variant("sstep:1"), None);
+        assert_eq!(parse_variant("sstep:17"), None);
+        assert_eq!(parse_variant("sstep:1000000"), None);
+        assert_eq!(parse_variant("sstep:-4"), None);
+        assert_eq!(parse_variant("sstep:two"), None);
+        assert_eq!(parse_variant("sstep:"), None);
+        assert_eq!(parse_variant("sstep"), None);
+        // Only sstep takes a parameter; parameterizing the others is
+        // garbage, not a partial match.
+        assert_eq!(parse_variant("pipelined:2"), None);
+        assert_eq!(parse_variant("classic:1"), None);
+    }
+
+    #[test]
     fn parse_precond_accepts_known_pairs_and_rejects_garbage() {
         assert_eq!(
             parse_precond("mstep:3"),
@@ -488,6 +556,17 @@ mod tests {
         assert_eq!(parse_precond("mstep:two"), None);
         assert_eq!(parse_precond(""), None);
         assert_eq!(parse_precond("auto"), None); // Auto is the absence of a pin
+                                                 // Absurd parameters are rejected like 0 — the same validation the
+                                                 // sstep:S width gets (satellite of the s-step PR).
+        assert_eq!(
+            parse_precond("chebyshev:64"),
+            Some(PrecondKind::Poly {
+                kind: PolyKind::Chebyshev,
+                degree: MAX_PRECOND_PARAM
+            })
+        );
+        assert_eq!(parse_precond("chebyshev:65"), None);
+        assert_eq!(parse_precond("mstep:1000000"), None);
     }
 
     #[test]
@@ -530,6 +609,7 @@ mod tests {
             PcgVariant::Classic,
             PcgVariant::SingleReduction,
             PcgVariant::Pipelined,
+            PcgVariant::SStep { s: 4 },
         ] {
             assert_ne!(v.resolve(), PcgVariant::Auto);
         }
@@ -539,6 +619,10 @@ mod tests {
             PcgVariant::SingleReduction
         );
         assert_eq!(PcgVariant::Pipelined.resolve(), PcgVariant::Pipelined);
+        assert_eq!(
+            PcgVariant::SStep { s: 2 }.resolve(),
+            PcgVariant::SStep { s: 2 }
+        );
         // Auto honors the cached environment pin (classic when unset).
         assert_eq!(
             PcgVariant::Auto.resolve(),

@@ -979,6 +979,92 @@ pub fn fused_poly_step(
     });
 }
 
+/// One chunk of the s-step Chebyshev basis combine — shared by
+/// [`fused_cheb_basis`] and the SPMD solver's own-strip basis phase, so
+/// both paths run bitwise-identical per-element arithmetic.
+#[inline]
+pub fn cheb_basis_chunk(
+    a: f64,
+    theta: f64,
+    b: f64,
+    t: &[f64],
+    v: &[f64],
+    w: &[f64],
+    out: &mut [f64],
+) {
+    for i in 0..t.len() {
+        out[i] = a * (t[i] - theta * v[i]) - b * w[i];
+    }
+}
+
+/// One step of the s-step Chebyshev *basis* three-term recurrence, fused
+/// into a single pass: with `t = M⁻¹K·v` already computed,
+///
+/// ```text
+/// out ← a·(t − θ·v) − b·w.
+/// ```
+///
+/// The three shapes the recurrence needs are all instances:
+/// the first step `v₂ = (1/δ)(t − θ v₁)` is `(a, b) = (1/δ, 0)`, the
+/// general step `vⱼ₊₁ = (2/δ)(t − θ vⱼ) − vⱼ₋₁` is `(a, b) = (2/δ, 1)`,
+/// and the degenerate-interval scaled-monomial fallback `vⱼ₊₁ = t/θ` is
+/// `(a, θ, b) = (1/θ, 0, 0)`. The same pass shape as [`fused_poly_step`]:
+/// chunk deterministic, disjoint chunk writes, no reductions. With
+/// `b == 0.0` the `w` operand is multiplied by an exact zero, so stale
+/// values cannot leak through.
+///
+/// # Panics
+/// Panics if the four slices differ in length.
+pub fn fused_cheb_basis(
+    a: f64,
+    theta: f64,
+    b: f64,
+    t: &[f64],
+    v: &[f64],
+    w: &[f64],
+    out: &mut [f64],
+) {
+    let n = t.len();
+    assert_eq!(v.len(), n, "fused_cheb_basis: v length mismatch");
+    assert_eq!(w.len(), n, "fused_cheb_basis: w length mismatch");
+    assert_eq!(out.len(), n, "fused_cheb_basis: out length mismatch");
+    let (chunk, nchunks) = par::reduction_layout(n);
+    let threads = par::threads_for(n, tuning::par_min_elems());
+    if threads <= 1 {
+        for c in 0..nchunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            cheb_basis_chunk(
+                a,
+                theta,
+                b,
+                &t[lo..hi],
+                &v[lo..hi],
+                &w[lo..hi],
+                &mut out[lo..hi],
+            );
+        }
+        return;
+    }
+    let os = par::ParSlice::new(out);
+    par::for_each_chunk(nchunks, threads, &|c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        // SAFETY: chunks are disjoint and each claimed exactly once.
+        unsafe {
+            cheb_basis_chunk(
+                a,
+                theta,
+                b,
+                &t[lo..hi],
+                &v[lo..hi],
+                &w[lo..hi],
+                os.slice_mut(lo..hi),
+            );
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1460,6 +1546,29 @@ mod tests {
         for i in 0..n {
             let want_d = 0.0 * d0[i] + b * (inv_diag[i] * (r[i] - kz[i]));
             assert_eq!(dn[i].to_bits(), want_d.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_cheb_basis_matches_elementwise() {
+        let n = 417;
+        let t: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
+        let v: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.2 - 0.6).collect();
+        let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+        let (a, theta, b) = (2.0 / 0.45, 0.55, 1.0);
+        let mut out = vec![f64::NAN; n]; // overwritten, stale values must not leak
+        fused_cheb_basis(a, theta, b, &t, &v, &w, &mut out);
+        for i in 0..n {
+            let want = a * (t[i] - theta * v[i]) - b * w[i];
+            assert_eq!(out[i].to_bits(), want.to_bits());
+        }
+        // First-step instance: b = 0 must be an exact zero multiply so a
+        // finite-but-stale `w` contributes nothing.
+        let mut first = vec![f64::NAN; n];
+        fused_cheb_basis(1.0 / 0.45, theta, 0.0, &t, &v, &w, &mut first);
+        for i in 0..n {
+            let want = (1.0 / 0.45) * (t[i] - theta * v[i]) - 0.0 * w[i];
+            assert_eq!(first[i].to_bits(), want.to_bits());
         }
     }
 }

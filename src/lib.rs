@@ -75,6 +75,9 @@
 //!   | classic, polynomial degree `k` | 2 | **`k + 3`** | — |
 //!   | single-reduction, polynomial | **1** | **`k + 2`** | — |
 //!   | pipelined, polynomial | **1, in flight** | **`k + 1`** + 1 split crossing | the `p(G)D⁻¹w` chain + `K·mv` |
+//!   | s-step, block size `s` | **1 per `s` iterations** | `s·m(2C−1) + 2s` per block | — (fused block Gram) |
+//!   | s-step, plain CG | **1 per `s` iterations** | **`s + 1`** per block (`v₁ ≡ r`) | — |
+//!   | s-step, polynomial | **1 per `s` iterations** | **`s·(k + 2)`** per block | — |
 //!
 //!   Both counts are *measured*, not asserted: `PcgStats` carries
 //!   `reduction_phases` (and `fallbacks`), the SPMD report carries
@@ -91,9 +94,10 @@
 //!   from the current iterate, the SPMD solver reruns the solve.
 //!   Selection: `PcgOptions::variant` / `ParallelSolverOptions::variant`,
 //!   with the validated
-//!   `MSPCG_PCG_VARIANT=classic|single_reduction|pipelined` environment
-//!   override resolving the `Auto` default; CI runs the whole suite once
-//!   under `single_reduction` and once under `pipelined`.
+//!   `MSPCG_PCG_VARIANT=classic|single_reduction|pipelined|sstep:S`
+//!   environment override resolving the `Auto` default; CI runs the
+//!   whole suite once under `single_reduction`, once under `pipelined`
+//!   and once under `sstep:4`.
 //! * **Pipelined (Ghysels–Vanroose) variant** — the single-reduction
 //!   schedule still *blocks* at its one reduction barrier.
 //!   `PcgVariant::Pipelined` carries two more recurrence vectors
@@ -113,6 +117,27 @@
 //!   formulas at `m ∈ {0..3}` — is pinned by counter tests; honest
 //!   1-core caveat: this container cannot show the latency win, only the
 //!   counter proof (`BENCH_pr5.json` records both).
+//! * **s-step (communication-avoiding) variant** — the pipelined
+//!   schedule still pays one reduction *per iteration*; it merely hides
+//!   the latency. `PcgVariant::SStep { s }` amortizes the count itself:
+//!   each outer step builds an `s`-dimensional Krylov block with the
+//!   **Chebyshev three-term recurrence** on the cached Lanczos interval
+//!   (well-conditioned where the naive monomial basis collapses —
+//!   Chronopoulos–Gear blocked, Carson/Demmel-style basis), then fuses
+//!   *every* inner product of the next `s` iterations — the `s(s+1)/2`
+//!   block Gram entries, the `s×s` direction coupling, the projections
+//!   and the stopping norm — into **ONE** reduction phase, solved
+//!   replicated by a small dense Cholesky (with a rank-revealing pivot
+//!   floor: an endgame-degenerate block truncates to its numerical rank
+//!   and restarts the recurrence instead of dividing by noise). The
+//!   serial solver, the multi-RHS driver and the SPMD executor share the
+//!   code path; the SPMD block runs on `s·m(2C−1) + 2s` barriers (table
+//!   above) with **zero** split crossings and no init phase. Breakdown
+//!   steps down warm onto the pipelined rung. The exact block schedule
+//!   is pinned by counter tests at `s ∈ {2, 4}` × 1/4 threads × CSR /
+//!   SELL-C-σ, bitwise-deterministic across runs and formats;
+//!   `BENCH_pr10.json` records the `s`-sweep against the ladder, with
+//!   the formulas asserted in-run.
 //! * **Barrier-free polynomial (Newton–Chebyshev) preconditioning** — the
 //!   multicolor SSOR sweeps cost `2C−1` barriers per step: the
 //!   *color structure itself* is the synchronization bill.
@@ -202,7 +227,7 @@
 //!   overrides; the `par-recovery` CI job runs the whole suite under
 //!   forced replacement + pipelined + 4 threads.
 //! * **Recovery ladder** — a non-finite reduction scalar (or an audit
-//!   divergence in a recurrence schedule) walks Pipelined →
+//!   divergence in a recurrence schedule) walks SStep → Pipelined →
 //!   SingleReduction → Classic: the recurrence rungs are *detectors*
 //!   (they hand the current iterate down one rung, counted as a
 //!   `recovery`/`fallback`), the classic rung *self-heals in place*
@@ -222,7 +247,9 @@
 //!   consumed once (lower rungs run clean), a plan fault is *persistent*
 //!   (it re-fires on every ladder rung, so the full walk is exercised —
 //!   a pipelined start under a NaN preconditioner fault proves exactly 3
-//!   detections, 2 step-downs, 1 classic in-place replacement).
+//!   detections, 2 step-downs, 1 classic in-place replacement; an s-step
+//!   start proves the full 4-rung walk: 4 detections, 3 step-downs, 1
+//!   replacement).
 //!   `tests/fault_injection.rs` runs every variant × executor × family
 //!   under both fault classes with bitwise replay and exact counters.
 //!

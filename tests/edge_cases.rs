@@ -147,7 +147,11 @@ fn budget_exit_residual_matches_a_fresh_recomputation() {
     };
     let rep = pcg_try_solve_into(&a, &b, &mut u, &pre, &opts, &mut ws).unwrap();
     assert!(!rep.converged);
-    assert_eq!(rep.iterations, 3);
+    // The residual claim is schedule-agnostic, so the ambient variant is
+    // deliberately not pinned — but the iteration count is granular: the
+    // s-step schedule runs whole `s`-blocks, so a forced `sstep:S` with
+    // `S > 3` exhausts this budget at 0 iterations.
+    assert!(rep.iterations <= 3, "budget overrun: {}", rep.iterations);
     let mut true_r = b.clone();
     a.mul_vec_axpy(-1.0, &u, &mut true_r);
     let expected = vecops::norm2(&true_r) / vecops::norm2(&b);

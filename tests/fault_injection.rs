@@ -41,10 +41,12 @@ use mspcg::sparse::{vecops, CooMatrix, CsrMatrix, Partition, PolyKind, SparseOp}
 
 /// Every variant the harness covers (kept in sync with
 /// `variant_conformance.rs`, whose compile-time guard covers the enum).
-const ALL_VARIANTS: [PcgVariant; 3] = [
+const ALL_VARIANTS: [PcgVariant; 5] = [
     PcgVariant::Classic,
     PcgVariant::SingleReduction,
     PcgVariant::Pipelined,
+    PcgVariant::SStep { s: 2 },
+    PcgVariant::SStep { s: 4 },
 ];
 
 /// Stopping tolerance of the NaN cells.
@@ -173,6 +175,7 @@ fn spmd_nan_counters(variant: PcgVariant) -> (usize, usize, usize) {
         PcgVariant::Classic => (1, 1, 0),
         PcgVariant::SingleReduction => (2, 1, 1),
         PcgVariant::Pipelined => (3, 1, 2),
+        PcgVariant::SStep { .. } => (4, 1, 3),
         PcgVariant::Auto => unreachable!(),
     }
 }

@@ -7,7 +7,7 @@ use mspcg::core::pcg::{cg_solve, pcg_solve, PcgOptions, StoppingCriterion};
 use mspcg::core::preconditioner::Preconditioner;
 use mspcg::core::splitting::{NaturalSsorSplitting, Splitting};
 use mspcg::fem::plate::PlaneStressProblem;
-use mspcg::sparse::vecops;
+use mspcg::sparse::{vecops, PcgVariant};
 
 fn opts(tol: f64) -> PcgOptions {
     PcgOptions {
@@ -176,8 +176,19 @@ fn preconditioner_applications_match_iteration_count() {
     let pre = MStepSsorPreconditioner::unparametrized(&ord.matrix, &ord.colors, m).unwrap();
     let sol = pcg_solve(&ord.matrix, &ord.rhs, &pre, &opts(1e-8)).unwrap();
     // One application per iteration plus the initial one (±1 at the
-    // convergence boundary), each of m steps.
+    // convergence boundary), each of m steps. The s-step schedule builds
+    // its whole s-vector Chebyshev basis up front (one application per
+    // basis vector), so a block that converges mid-way leaves up to
+    // `s − 1` applications beyond the counted iterations.
+    let slack = match PcgVariant::Auto.resolve() {
+        PcgVariant::SStep { s } => s + 1,
+        _ => 2,
+    };
     let apps = sol.stats.precond_applications;
-    assert!(apps >= sol.iterations && apps <= sol.iterations + 2);
+    assert!(
+        apps >= sol.iterations && apps <= sol.iterations + slack,
+        "{apps} applications over {} iterations",
+        sol.iterations
+    );
     assert_eq!(sol.stats.precond_steps, apps * m);
 }

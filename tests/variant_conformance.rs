@@ -29,11 +29,16 @@ use mspcg::fem::poisson::poisson5;
 use mspcg::parallel::{ParallelMStepPcg, ParallelSolverOptions};
 use mspcg::sparse::{vecops, CooMatrix, CsrMatrix, Partition, PolyKind, SellCsMatrix};
 
-/// Every variant the harness covers.
-const ALL_VARIANTS: [PcgVariant; 3] = [
+/// Every variant the harness covers. The s-step schedule is exercised at
+/// two block sizes — block granularity (convergence is only checked every
+/// `s` iterations) is why [`ITER_SLACK`] is phrased as a slack, not an
+/// equality.
+const ALL_VARIANTS: [PcgVariant; 5] = [
     PcgVariant::Classic,
     PcgVariant::SingleReduction,
     PcgVariant::Pipelined,
+    PcgVariant::SStep { s: 2 },
+    PcgVariant::SStep { s: 4 },
 ];
 
 /// Compile-time exhaustiveness guard: a new `PcgVariant` entry makes this
@@ -45,7 +50,8 @@ fn exhaustiveness_guard(v: PcgVariant) {
         PcgVariant::Auto
         | PcgVariant::Classic
         | PcgVariant::SingleReduction
-        | PcgVariant::Pipelined => {}
+        | PcgVariant::Pipelined
+        | PcgVariant::SStep { .. } => {}
     }
 }
 
